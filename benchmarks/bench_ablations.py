@@ -1,0 +1,102 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- direction control (sender-writing Gather) on/off;
+- persistent registration vs per-message registration counts;
+- topology-aware tree vs logical rank-order tree (under scatter binding);
+- rotated vs naive Alltoall schedule.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_direction,
+    ablation_registration,
+    ablation_rotation,
+    ablation_topology,
+)
+from repro.bench.imb import ImbSettings, imb_time
+from repro.bench.report import render_registration_ablation
+from repro.mpi import stacks
+from repro.units import KiB, MiB
+
+from conftest import emit
+
+
+def test_ablation_direction_control(run_experiment):
+    result = run_experiment(ablation_direction, "zoot", scale="bench")
+    emit(result)
+    norm = result.normalized()
+    root_read = [n for n in norm if n != "KNEM-Coll"][0]
+    big = [s for s in result.sizes if s >= 64 * KiB]
+    for size in big:
+        assert norm[root_read][size] > 1.3, f"direction gain at {size}"
+
+
+def test_ablation_registration_counts(benchmark):
+    stats = benchmark.pedantic(lambda: ablation_registration("dancer"),
+                               rounds=1, iterations=1)
+    print()
+    print(render_registration_ablation(stats))
+    assert stats["KNEM-Coll"]["registrations"] < \
+        stats["Tuned-KNEM"]["registrations"]
+
+
+def test_ablation_topology_aware_tree(benchmark):
+    """Under scatter binding, a rank-order tree disagrees with NUMA."""
+    def run():
+        out = {}
+        for name, stack in (("aware", stacks.KNEM_COLL),
+                            ("rank-order",
+                             stacks.KNEM_COLL.with_tuning(topology_aware=False))):
+            def prog(proc):
+                buf = proc.alloc(2 * MiB, backed=False)
+                t0 = proc.now
+                yield from proc.comm.bcast(buf, 0, 2 * MiB, root=0)
+                return proc.now - t0
+
+            from repro.mpi.runtime import Job, Machine
+            job = Job(Machine.build("ig"), nprocs=48, stack=stack,
+                      binding="scatter")
+            out[name] = max(job.run(prog).values)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntopology-aware: {times['aware'] * 1e6:.0f}us   "
+          f"rank-order: {times['rank-order'] * 1e6:.0f}us")
+    assert times["rank-order"] > times["aware"]
+
+
+def test_ablation_hierarchy_depth(benchmark):
+    """2-level (Figure 1) vs 3-level board-aware tree on IG: the deeper tree
+    crosses the inter-board link once instead of once per far-board domain
+    (the paper's future-work hierarchy)."""
+    def run():
+        from repro.mpi.runtime import Job, Machine
+
+        out = {}
+        for name, stack in (
+                ("2-level", stacks.KNEM_COLL),
+                ("3-level", stacks.KNEM_COLL.with_tuning(hierarchy_levels=3))):
+            def prog(proc):
+                buf = proc.alloc(4 * MiB, backed=False)
+                t0 = proc.now
+                yield from proc.comm.bcast(buf, 0, 4 * MiB, root=0)
+                return proc.now - t0
+
+            job = Job(Machine.build("ig"), nprocs=48, stack=stack)
+            out[name] = max(job.run(prog).values)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n4MiB bcast on IG: 2-level {times['2-level'] * 1e6:.0f}us   "
+          f"3-level {times['3-level'] * 1e6:.0f}us")
+    assert times["3-level"] < times["2-level"] * 1.05
+
+
+def test_ablation_rotation(run_experiment):
+    result = run_experiment(ablation_rotation, "ig", scale="bench")
+    emit(result)
+    norm = result.normalized()
+    naive = [n for n in norm if n != "KNEM-Coll"][0]
+    big = [s for s in result.sizes if s >= 64 * KiB]
+    assert all(norm[naive][s] >= 0.99 for s in big)

@@ -1,0 +1,29 @@
+"""Figure 4 — pipeline-size tuning of the hierarchical KNEM Broadcast on IG.
+
+Regenerates the paper's pipeline sweep: linear vs hierarchical vs
+hierarchical-pipelined at several segment sizes, normalized to the
+unpipelined hierarchical run.  Shape assertions encode the published
+claims: hierarchy alone ~2.2-2.4x over linear; pipelining adds up to
+~1.25x; 4 KB segments are too small.
+"""
+
+from repro.bench.experiments import figure4
+from repro.units import KiB, MiB
+
+from conftest import emit
+
+
+def test_fig4_pipeline_sweep(run_experiment):
+    result = run_experiment(figure4, scale="bench")
+    emit(result)
+
+    norm = result.normalized()
+    sizes = result.sizes
+    # hierarchy alone is a big win over linear at every size
+    for size in sizes:
+        assert norm["linear"][size] > 1.7, f"linear at {size}"
+    # a sane pipeline size improves on no-pipeline
+    for size in sizes:
+        assert norm["pipe-512K"][size] < 1.0 or norm["pipe-16K"][size] < 1.0
+    # 4 KB segments pay too much synchronization at intermediate sizes
+    assert norm["pipe-4K"][sizes[0]] > norm["pipe-16K"][sizes[0]]

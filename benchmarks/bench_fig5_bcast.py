@@ -1,0 +1,32 @@
+"""Figure 5 — Broadcast, five stacks, four machines, normalized to KNEM-Coll.
+
+Paper claims: KNEM-Coll broadly best; speedups ~1-2.5x (Zoot), 1.2-2.8x
+(Dancer), 1-1.8x (Saturn), 1.5-2.1x (IG).  The assertions check the
+direction of the claims at the paper's strength against the copy-in/
+copy-out baselines; the Tuned-KNEM crossover at the largest IG sizes is a
+documented deviation (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.experiments import figure5
+from repro.units import KiB
+
+from conftest import emit
+
+MACHINES = ["zoot", "dancer", "saturn", "ig"]
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_fig5_bcast(run_experiment, machine):
+    result = run_experiment(figure5, machine, scale="bench")
+    emit(result)
+
+    norm = result.normalized()
+    for size in result.sizes:
+        if size < 64 * KiB:
+            continue  # delegation region: KNEM-Coll == tuned by design
+        assert norm["Tuned-SM"][size] > 1.1, f"Tuned-SM at {size} on {machine}"
+        # MPICH2's van de Geijn broadcast gets closer at the largest sizes
+        # (EXPERIMENTS.md D1/D2) but must not actually win.
+        assert norm["MPICH2-SM"][size] > 0.95, f"MPICH2-SM at {size} on {machine}"

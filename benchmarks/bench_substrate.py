@@ -1,0 +1,92 @@
+"""Substrate micro-benchmarks: simulator engine throughput.
+
+Not a paper experiment — these track the performance of the simulation
+substrate itself (event loop, flow network, cache model), so regressions
+in the engine show up in benchmark history rather than as mysteriously
+slow experiment sweeps.
+"""
+
+from repro.hardware.flows import FlowNetwork, Resource
+from repro.hardware.machines import ig
+from repro.hardware.memory import MemorySystem
+from repro.mpi import Job, Machine, stacks
+from repro.simtime import Simulator
+from repro.units import KiB, MiB
+
+
+def test_event_loop_throughput(benchmark):
+    """Pure event scheduling/dispatch rate."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            for _ in range(n):
+                yield sim.timeout(1e-9)
+
+        for _ in range(10):
+            sim.process(chain(5000))
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_flow_network_rebalancing(benchmark):
+    """Max-min fair reassignment under churn (48 flows, shared resources)."""
+
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        ports = [Resource(f"p{i}", 1e10) for i in range(8)]
+
+        def flow(i):
+            for k in range(20):
+                yield net.transfer(
+                    1 * MiB, demand=5e9,
+                    weights={ports[i % 8]: 1.0, ports[(i + k) % 8]: 1.0},
+                )
+
+        for i in range(48):
+            sim.process(flow(i))
+        sim.run()
+        return net.completed_flows
+
+    assert benchmark(run) == 960
+
+
+def test_memory_copy_engine(benchmark):
+    """Copy issue rate through the full memory system (cache + routing)."""
+
+    def run():
+        sim = Simulator()
+        mem = MemorySystem(sim, ig())
+        bufs = [(mem.alloc(256 * KiB, d % 8, backed=False),
+                 mem.alloc(256 * KiB, (d + 3) % 8, backed=False))
+                for d in range(16)]
+
+        def worker(core, a, b):
+            for _ in range(50):
+                yield mem.copy(core, a, 0, b, 0, 256 * KiB)
+
+        for i, (a, b) in enumerate(bufs):
+            sim.process(worker(i * 3, a, b))
+        sim.run()
+        return mem.copies
+
+    assert benchmark(run) == 800
+
+
+def test_full_collective_simulation_rate(benchmark):
+    """End-to-end cost of simulating one 48-rank hierarchical broadcast."""
+
+    def run():
+        job = Job(Machine.build("ig"), nprocs=48, stack=stacks.KNEM_COLL)
+
+        def prog(proc):
+            buf = proc.alloc(1 * MiB, backed=False)
+            yield from proc.comm.bcast(buf, 0, 1 * MiB, root=0)
+
+        job.run(prog)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

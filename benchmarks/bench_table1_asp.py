@@ -1,0 +1,30 @@
+"""Table I — ASP application breakdown on Zoot and IG.
+
+Regenerates the application experiment at the paper's problem sizes
+(16384^2 on Zoot / 32768^2 on IG) with documented iteration sampling.
+Checks: KNEM-Coll spends the least Bcast time, totals keep the paper's
+ordering, and the calibrated compute matches the paper's total-minus-bcast
+within a few percent.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_EXPECTATIONS, table1
+from repro.bench.report import render_table1
+
+
+@pytest.mark.parametrize("machine,compute_expect", [("zoot", 2485.0),
+                                                    ("ig", 6090.0)])
+def test_table1(benchmark, machine, compute_expect):
+    rows = benchmark.pedantic(
+        lambda: table1(machine, scale="bench"), rounds=1, iterations=1)
+    print()
+    print(render_table1(machine, rows,
+                        paper=PAPER_EXPECTATIONS["table1"][machine]))
+
+    assert rows["KNEM Coll"]["bcast"] < rows["Open MPI"]["bcast"]
+    assert rows["KNEM Coll"]["bcast"] < rows["MPICH2"]["bcast"]
+    assert rows["KNEM Coll"]["total"] < rows["Open MPI"]["total"]
+    # compute calibration: totals dominated by the relax sweep
+    knem_compute = rows["KNEM Coll"]["total"] - rows["KNEM Coll"]["bcast"]
+    assert knem_compute == pytest.approx(compute_expect, rel=0.06)

@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+Every paper experiment is exposed as one pytest-benchmark target.  The
+measured quantity is the wall time of regenerating the experiment on the
+simulator (a deterministic workload, so one round suffices); the
+*scientific* output — the normalized-runtime tables in the paper's format —
+is printed and written to ``results/*.csv``.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Ensure results land next to the repo regardless of cwd.
+os.environ.setdefault(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "results"),
+)
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment callable once under pytest-benchmark and render it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(lambda: fn(*args, **kwargs),
+                                    rounds=1, iterations=1)
+        return result
+
+    return _run
+
+
+def emit(result) -> None:
+    """Print a sweep result and persist its CSV."""
+    print()
+    print(result.render())
+    path = result.to_csv()
+    print(f"[csv] {path}")
+    sys.stdout.flush()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The Alltoall rotation schedule (Figure 3) and what it buys.
+
+Prints the copy schedule of the KNEM Alltoall — each receiver starts its
+fetch loop at a rotated offset so every sender's memory is read by exactly
+one peer at each step — then measures rotated vs naive fetch order on the
+48-core IG machine, and a distributed matrix transpose built on Alltoall.
+
+Run:  python examples/alltoall_schedule.py
+"""
+
+import numpy as np
+
+from repro.apps.transpose import TransposeConfig, alltoall_time, run_transpose
+from repro.mpi import stacks
+from repro.units import KiB, fmt_time
+
+
+def print_schedule(size: int = 4) -> None:
+    print(f"Rotated fetch schedule for {size} processes "
+          f"(entries: step at which receiver reads sender's block)\n")
+    header = "          " + " ".join(f"snd{p}" for p in range(size))
+    print(header)
+    for rank in range(size):
+        row = [""] * size
+        for step in range(1, size):
+            peer = (rank + step) % size
+            row[peer] = str(step)
+        row[rank] = "-"
+        print(f"  recv{rank}:  " + " ".join(f"{c:>4}" for c in row))
+    print("\nEvery column holds each step exactly once (a Latin square):")
+    print("at any instant, each sender's buffer feeds exactly one reader.\n")
+
+
+def measure_rotation() -> None:
+    print("Alltoall 128 KiB/block on IG (48 ranks):")
+    rotated = stacks.KNEM_COLL
+    naive = stacks.KNEM_COLL.with_tuning(rotate_alltoall=False)
+    cfg = TransposeConfig(n=48 * 16, nprocs=48)  # blocks of 16 rows
+
+    for name, stack in (("rotated (Figure 3)", rotated), ("naive order", naive)):
+        t = alltoall_time("ig", stack, cfg)
+        print(f"  {name:20s} {fmt_time(t):>12}")
+    print()
+
+
+def transpose_demo() -> None:
+    print("Distributed transpose via Alltoall (correctness check):")
+    rng = np.random.default_rng(0)
+    mat = rng.random((64, 64))
+    out, elapsed = run_transpose("dancer", stacks.KNEM_COLL, mat, nprocs=8)
+    print(f"  64x64 over 8 ranks: correct={np.allclose(out, mat.T)} "
+          f"in {fmt_time(elapsed)}")
+
+
+def main():
+    print_schedule(4)
+    measure_rotation()
+    transpose_demo()
+
+
+if __name__ == "__main__":
+    main()

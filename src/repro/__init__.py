@@ -1,0 +1,58 @@
+"""repro — reproduction of "Kernel Assisted Collective Intra-node MPI
+Communication among Multi-Core and Many-Core CPUs" (Ma et al., ICPP 2011).
+
+The package simulates an intra-node memory system (NUMA domains, links,
+caches, per-core copy engines) with a discrete-event engine, implements the
+KNEM kernel module and both shared-memory transports on top of it, runs an
+MPI-like runtime with the five library configurations the paper compares,
+and regenerates every figure and table of the paper's evaluation.
+
+Quick start::
+
+    from repro import Machine, Job
+    from repro.mpi import stacks
+
+    machine = Machine.build("dancer")          # one of zoot/dancer/saturn/ig
+    job = Job(machine, nprocs=8, stack=stacks.KNEM_COLL)
+
+    def program(proc):
+        buf = proc.alloc_array(1 << 20, dtype="u1")
+        if proc.rank == 0:
+            buf.array[:] = 42
+        yield from proc.comm.bcast(buf.sim, 0, buf.sim.size, root=0)
+        return proc.now
+
+    result = job.run(program)
+    print(result.elapsed)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.errors import ReproError
+from repro.hardware.machines import MACHINES, get_machine
+from repro.hardware.spec import CacheSpec, CoreSpec, LinkSpec, MachineSpec
+from repro.mpi.runtime import ArrayBuffer, Job, JobResult, Machine, Proc
+from repro.mpi.status import Request, Status
+from repro.mpi import stacks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Job",
+    "JobResult",
+    "Proc",
+    "ArrayBuffer",
+    "Status",
+    "Request",
+    "stacks",
+    "get_machine",
+    "MACHINES",
+    "MachineSpec",
+    "CoreSpec",
+    "CacheSpec",
+    "LinkSpec",
+    "ReproError",
+    "__version__",
+]

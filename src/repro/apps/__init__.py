@@ -1,0 +1,26 @@
+"""Applications used to evaluate the collective components.
+
+- :mod:`repro.apps.asp` — the paper's showcase application (Table I): a
+  row-distributed parallel Floyd–Warshall all-pairs-shortest-path solver
+  whose dominant collective is ``MPI_Bcast``;
+- :mod:`repro.apps.stencil` — a 2-D halo-exchange mini-app (point-to-point
+  heavy; extra workload beyond the paper);
+- :mod:`repro.apps.transpose` — a distributed matrix transpose driven by
+  ``MPI_Alltoall`` (extra workload beyond the paper).
+"""
+
+from repro.apps.asp import AspConfig, AspTiming, asp_paper_config, run_asp, run_asp_timed
+from repro.apps.stencil import StencilConfig, run_stencil
+from repro.apps.transpose import TransposeConfig, run_transpose
+
+__all__ = [
+    "AspConfig",
+    "AspTiming",
+    "asp_paper_config",
+    "run_asp",
+    "run_asp_timed",
+    "StencilConfig",
+    "run_stencil",
+    "TransposeConfig",
+    "run_transpose",
+]

@@ -1,0 +1,223 @@
+"""ASP — parallel all-pairs-shortest-path (Floyd–Warshall), Table I's app.
+
+The paper evaluates its collectives on ASP [18]: the distance matrix is
+distributed by rows across all cores, and for every pivot ``k`` the owner
+of row ``k`` broadcasts it (``MPI_Bcast`` is the dominant collective); each
+rank then relaxes its local rows.  On Zoot the matrix is 16384² and the
+broadcast payload 64 KB; on IG 32768² / 128 KB (32-bit integers).
+
+Two modes:
+
+- :func:`run_asp` — **data-correct**: moves real numpy rows through the
+  simulated collectives and returns the full distance matrix (tests verify
+  it against an independent Floyd–Warshall);
+- :func:`run_asp_timed` — **calibrated timing** for Table I's scale: the
+  matrix is unbacked, the relaxation is charged through the calibrated
+  element-update cost, and the streaming sweep's cache eviction is applied
+  (the paper notes the app, unlike IMB off-cache, leaves broadcast state
+  cache-resident — and conversely, the 100+ MB relax sweep evicts the
+  transport's intermediate buffers).
+
+Iteration sampling: all ``n`` iterations are statistically homogeneous
+(same payload size; ownership changes only every ``n/P`` pivots), so
+``sample=m`` simulates every ``m``-th pivot and scales time by ``m``.
+``sample=1`` simulates every pivot exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.hardware.spec import MachineSpec
+from repro.mpi.runtime import Job, Machine, Proc
+from repro.mpi.stacks import Stack
+
+__all__ = ["AspConfig", "AspTiming", "asp_paper_config", "run_asp",
+           "run_asp_timed", "floyd_warshall_reference"]
+
+#: 32-bit integer distances, as in the paper's runs.
+ITEM = 4
+#: "infinite" distance for missing edges (int32-safe against overflow).
+INF = np.int32(2 ** 30)
+
+
+@dataclass(frozen=True)
+class AspConfig:
+    """Problem shape: ``n`` x ``n`` matrix over ``nprocs`` row blocks."""
+
+    n: int
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.nprocs < 1:
+            raise BenchmarkError("ASP needs n >= 1 and nprocs >= 1")
+        if self.nprocs > self.n:
+            raise BenchmarkError("more ranks than matrix rows")
+
+    @property
+    def row_bytes(self) -> int:
+        """Broadcast payload per pivot row (n 32-bit cells)."""
+        return self.n * ITEM
+
+    def block(self, rank: int) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` owned by ``rank`` (block distribution)."""
+        base, extra = divmod(self.n, self.nprocs)
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        return lo, hi
+
+    def owner(self, row: int) -> int:
+        """Rank owning ``row`` under the block distribution."""
+        base, extra = divmod(self.n, self.nprocs)
+        cut = extra * (base + 1)
+        if row < cut:
+            return row // (base + 1)
+        return extra + (row - cut) // base if base else self.nprocs - 1
+
+
+@dataclass(frozen=True)
+class AspTiming:
+    """Timing of one timed ASP run (Table I row)."""
+
+    total_time: float
+    bcast_time: float
+    compute_time: float
+    n: int
+    nprocs: int
+    iterations_simulated: int
+    sample: int
+
+
+def asp_paper_config(machine: str) -> AspConfig:
+    """The Table I problem sizes: 16384² on Zoot, 32768² on IG."""
+    if machine == "zoot":
+        return AspConfig(n=16384, nprocs=16)
+    if machine == "ig":
+        return AspConfig(n=32768, nprocs=48)
+    raise BenchmarkError(f"Table I uses zoot or ig, not {machine!r}")
+
+
+def floyd_warshall_reference(adjacency: np.ndarray) -> np.ndarray:
+    """Straightforward single-node Floyd–Warshall (test oracle)."""
+    dist = adjacency.astype(np.int64, copy=True)
+    n = dist.shape[0]
+    for k in range(n):
+        np.minimum(dist, dist[:, k:k + 1] + dist[k:k + 1, :], out=dist)
+    return np.minimum(dist, INF).astype(np.int32)
+
+
+# ------------------------------------------------------------ data-correct
+def run_asp(
+    machine: Union[str, MachineSpec, Machine],
+    stack: Stack,
+    adjacency: np.ndarray,
+    nprocs: int,
+) -> np.ndarray:
+    """Run data-correct distributed ASP; returns the distance matrix.
+
+    ``adjacency`` is an ``n x n`` int32 matrix with ``INF`` for missing
+    edges and 0 on the diagonal.
+    """
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise BenchmarkError("adjacency must be square")
+    cfg = AspConfig(n=n, nprocs=nprocs)
+    machine_obj = machine if isinstance(machine, Machine) else Machine.build(machine)
+    job = Job(machine_obj, nprocs=nprocs, stack=stack)
+    result = job.run(_asp_data_program, cfg, adjacency)
+    return result.values[0]
+
+
+def _asp_data_program(proc: Proc, cfg: AspConfig, adjacency: np.ndarray):
+    comm = proc.comm
+    lo, hi = cfg.block(proc.rank)
+    local = proc.wrap(np.ascontiguousarray(adjacency[lo:hi].astype(np.int32)),
+                      label=f"asp-local-r{proc.rank}")
+    local2d = local.array.reshape(hi - lo, cfg.n)
+    rowbuf = proc.alloc_array(cfg.n, dtype=np.int32, label="asp-row")
+    for k in range(cfg.n):
+        owner = cfg.owner(k)
+        if proc.rank == owner:
+            off = (k - cfg.block(owner)[0]) * cfg.row_bytes
+            yield from comm.bcast(local.sim, off, cfg.row_bytes, root=owner)
+            row = local2d[k - lo]
+        else:
+            yield from comm.bcast(rowbuf.sim, 0, cfg.row_bytes, root=owner)
+            row = rowbuf.array
+        clipped = np.minimum(local2d[:, k:k + 1].astype(np.int64) + row, INF)
+        np.minimum(local2d, clipped.astype(np.int32), out=local2d)
+        yield proc.elem_ops((hi - lo) * cfg.n)
+    # Assemble the full matrix at rank 0 through the collective under test.
+    counts = [(cfg.block(r)[1] - cfg.block(r)[0]) * cfg.row_bytes
+              for r in range(cfg.nprocs)]
+    displs = [cfg.block(r)[0] * cfg.row_bytes for r in range(cfg.nprocs)]
+    full = proc.alloc_array(cfg.n * cfg.n, dtype=np.int32) if proc.rank == 0 else None
+    yield from comm.gatherv(local.sim, full.sim if full else None, counts,
+                            displs, root=0)
+    if proc.rank == 0:
+        return full.array.reshape(cfg.n, cfg.n).copy()
+    return None
+
+
+# --------------------------------------------------------------- timed mode
+def run_asp_timed(
+    machine: Union[str, MachineSpec],
+    stack: Stack,
+    cfg: AspConfig,
+    sample: int = 1,
+    model_cache_sweep: bool = True,
+) -> AspTiming:
+    """Calibrated-timing ASP run for Table I (see module docstring)."""
+    if sample < 1:
+        raise BenchmarkError("sample must be >= 1")
+    machine_obj = Machine.build(machine)
+    job = Job(machine_obj, nprocs=cfg.nprocs, stack=stack)
+    iters = max(1, cfg.n // sample)
+    scale = cfg.n / iters
+    result = job.run(_asp_timed_program, cfg, iters, sample, model_cache_sweep)
+    bcast = max(v[0] for v in result.values) * scale
+    compute = max(v[1] for v in result.values) * scale
+    return AspTiming(
+        total_time=result.elapsed * scale,
+        bcast_time=bcast,
+        compute_time=compute,
+        n=cfg.n,
+        nprocs=cfg.nprocs,
+        iterations_simulated=iters,
+        sample=sample,
+    )
+
+
+def _asp_timed_program(proc: Proc, cfg: AspConfig, iters: int, sample: int,
+                       model_cache_sweep: bool):
+    comm = proc.comm
+    lo, hi = cfg.block(proc.rank)
+    local_rows = hi - lo
+    local = proc.alloc(local_rows * cfg.row_bytes, backed=False,
+                       label=f"asp-local-r{proc.rank}")
+    rowbuf = proc.alloc(cfg.row_bytes, backed=False, label="asp-row")
+    caches = proc.machine.mem.caches
+    bcast_time = 0.0
+    compute_time = 0.0
+    for i in range(iters):
+        k = min(i * sample, cfg.n - 1)
+        owner = cfg.owner(k)
+        t0 = proc.now
+        if proc.rank == owner:
+            off = (k - cfg.block(owner)[0]) * cfg.row_bytes
+            yield from comm.bcast(local, off, cfg.row_bytes, root=owner)
+        else:
+            yield from comm.bcast(rowbuf, 0, cfg.row_bytes, root=owner)
+        bcast_time += proc.now - t0
+        t0 = proc.now
+        yield proc.elem_ops(local_rows * cfg.n)
+        if model_cache_sweep:
+            # The relax pass streams the whole local block (read+write),
+            # evicting transport state and leaving only the tail resident.
+            caches.touch(proc.core, local, 0, local.size, dirty=True)
+        compute_time += proc.now - t0
+    return bcast_time, compute_time

@@ -1,0 +1,92 @@
+"""Distributed matrix transpose via Alltoall (extra workload).
+
+The classic FFT-style redistribution: an ``n x n`` matrix distributed by
+row blocks is transposed by an ``MPI_Alltoall`` of block-column panels plus
+local sub-block transposes — the communication pattern the paper's
+AlltoAll rotation (Figure 3) is designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.mpi.runtime import Job, Machine, Proc
+from repro.mpi.stacks import Stack
+
+__all__ = ["TransposeConfig", "run_transpose"]
+
+
+@dataclass(frozen=True)
+class TransposeConfig:
+    """Square matrix of ``n`` rows over ``nprocs`` equal row blocks."""
+
+    n: int
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.nprocs < 1:
+            raise BenchmarkError("transpose needs n >= 1 and nprocs >= 1")
+        if self.n % self.nprocs:
+            raise BenchmarkError("n must be divisible by nprocs")
+
+    @property
+    def block(self) -> int:
+        """Rows per rank."""
+        return self.n // self.nprocs
+
+
+def run_transpose(machine, stack: Stack, matrix: np.ndarray,
+                  nprocs: int) -> tuple[np.ndarray, float]:
+    """Transpose ``matrix``; returns ``(transposed, elapsed seconds)``."""
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise BenchmarkError("matrix must be square")
+    cfg = TransposeConfig(n=n, nprocs=nprocs)
+    machine_obj = machine if isinstance(machine, Machine) else Machine.build(machine)
+    job = Job(machine_obj, nprocs=nprocs, stack=stack)
+    result = job.run(_transpose_program, cfg, matrix.astype(np.float64))
+    return np.vstack(result.values), result.elapsed
+
+
+def _transpose_program(proc: Proc, cfg: TransposeConfig, matrix: np.ndarray):
+    comm = proc.comm
+    b, size = cfg.block, comm.size
+    lo = proc.rank * b
+    rows = matrix[lo: lo + b]  # my row block: b x n
+    # Pack block-column panels contiguously: panel p = my rows, columns of
+    # rank p's block, pre-transposed so the receiver can use them directly.
+    send = proc.alloc_array(b * cfg.n, dtype=np.float64, label="tr-send")
+    for p in range(size):
+        panel = rows[:, p * b: (p + 1) * b].T  # b x b, transposed
+        send.array[p * b * b: (p + 1) * b * b] = panel.reshape(-1)
+    recv = proc.alloc_array(b * cfg.n, dtype=np.float64, label="tr-recv")
+    t0 = proc.now
+    yield from comm.alltoall(send.sim, recv.sim, b * b * 8)
+    elapsed = proc.now - t0
+    # Assemble my block of the transposed matrix: row block r of the result
+    # is column block r of the input, gathered from every peer.
+    out = np.empty((b, cfg.n), dtype=np.float64)
+    for p in range(size):
+        out[:, p * b: (p + 1) * b] = \
+            recv.array[p * b * b: (p + 1) * b * b].reshape(b, b)
+    return out
+
+
+def alltoall_time(machine, stack: Stack, cfg: TransposeConfig) -> float:
+    """Just the Alltoall phase time for one synthetic transpose."""
+    machine_obj = machine if isinstance(machine, Machine) else Machine.build(machine)
+    job = Job(machine_obj, nprocs=cfg.nprocs, stack=stack)
+
+    def prog(proc: Proc):
+        nbytes = cfg.block * cfg.block * 8
+        send = proc.alloc(nbytes * cfg.nprocs, backed=False)
+        recv = proc.alloc(nbytes * cfg.nprocs, backed=False)
+        t0 = proc.now
+        yield from proc.comm.alltoall(send, recv, nbytes)
+        return proc.now - t0
+
+    result = job.run(prog)
+    return max(result.values)

@@ -1,0 +1,27 @@
+"""Benchmark harness: IMB-style measurement loops, the paper's experiments,
+and result rendering.
+
+- :mod:`repro.bench.imb` — Intel MPI Benchmarks semantics (warmups,
+  per-size iteration counts, the ``-off_cache`` option the paper enables);
+- :mod:`repro.bench.experiments` — one entry per paper figure/table plus
+  the ablations called out in DESIGN.md;
+- :mod:`repro.bench.harness` / :mod:`repro.bench.report` — sweep runner,
+  normalization (the paper normalizes every curve to KNEM-Coll), ASCII
+  tables and CSV output;
+- :mod:`repro.bench.cli` — ``python -m repro.bench <experiment>`` for
+  full-size sweeps.
+"""
+
+from repro.bench.harness import ExperimentResult, Series, run_sweep
+from repro.bench.imb import ImbSettings, imb_time
+from repro.bench.timeline import copy_stats, render_timeline
+
+__all__ = [
+    "ImbSettings",
+    "imb_time",
+    "run_sweep",
+    "Series",
+    "ExperimentResult",
+    "render_timeline",
+    "copy_stats",
+]

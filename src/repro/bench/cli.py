@@ -1,0 +1,79 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Examples::
+
+    python -m repro.bench fig5 --machine dancer --scale bench
+    python -m repro.bench fig4 --scale full
+    python -m repro.bench table1 --machine zoot --sample 64
+    python -m repro.bench all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    MACHINE_RANKS,
+    PAPER_EXPECTATIONS,
+    table1,
+)
+from repro.bench.report import render_table1
+
+__all__ = ["main"]
+
+
+def _run_one(name: str, machine: str | None, scale: str, csv: bool) -> None:
+    fn, takes_machine = EXPERIMENTS[name]
+    machines = [machine] if machine else (
+        list(MACHINE_RANKS) if takes_machine else [None])
+    for m in machines:
+        result = fn(m, scale=scale) if takes_machine else fn(scale=scale)
+        print(result.render())
+        print()
+        if csv:
+            print(f"wrote {result.to_csv()}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's figures and tables on the "
+                    "simulated machines.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["table1", "all"],
+        help="which paper experiment to run",
+    )
+    parser.add_argument("--machine", choices=sorted(MACHINE_RANKS),
+                        help="restrict to one machine (default: all that apply)")
+    parser.add_argument("--scale", choices=("full", "bench", "smoke"),
+                        default="bench",
+                        help="grid/iteration sizing (default: bench)")
+    parser.add_argument("--sample", type=int, default=None,
+                        help="table1: simulate every Nth ASP iteration")
+    parser.add_argument("--csv", action="store_true",
+                        help="also write results/<experiment>_<machine>.csv")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table1":
+        for machine in [args.machine] if args.machine else ["zoot", "ig"]:
+            if machine not in ("zoot", "ig"):
+                parser.error("table1 runs on zoot or ig")
+            rows = table1(machine, scale=args.scale, sample=args.sample)
+            print(render_table1(machine, rows,
+                                paper=PAPER_EXPECTATIONS["table1"][machine]))
+            print()
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.machine, args.scale, args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

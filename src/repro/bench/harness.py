@@ -1,0 +1,159 @@
+"""Sweep runner and result containers for the paper's experiments.
+
+An experiment is a sweep over (stack × message size) on one machine for one
+operation.  Results are kept both as absolute per-op times and normalized
+against a reference stack — the paper normalizes every curve to KNEM-Coll,
+"the smaller these normalized values, the better the performance of the
+corresponding collective component" (with the sense inverted: values above
+1 mean the *other* component is slower).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.bench.imb import ImbSettings, imb_time
+from repro.errors import BenchmarkError
+from repro.mpi.stacks import Stack
+from repro.units import fmt_size, fmt_time
+
+__all__ = ["Series", "ExperimentResult", "run_sweep", "results_dir"]
+
+
+def results_dir() -> str:
+    """Directory where experiment CSVs are written (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR",
+                          os.path.join(os.getcwd(), "results"))
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@dataclass
+class Series:
+    """One curve: per-op seconds by message size for one configuration."""
+
+    name: str
+    times: dict[int, float] = field(default_factory=dict)
+
+    def normalized_to(self, ref: "Series") -> dict[int, float]:
+        """This series' per-size runtime divided by ``ref``'s."""
+        out = {}
+        for size, t in self.times.items():
+            rt = ref.times.get(size)
+            if rt:
+                out[size] = t / rt
+        return out
+
+
+@dataclass
+class ExperimentResult:
+    """All curves of one experiment plus rendering helpers."""
+
+    experiment: str
+    machine: str
+    operation: str
+    nprocs: int
+    series: list[Series]
+    reference: str
+
+    @property
+    def sizes(self) -> list[int]:
+        """Sorted union of message sizes across all series."""
+        sizes: set[int] = set()
+        for s in self.series:
+            sizes.update(s.times)
+        return sorted(sizes)
+
+    def get(self, name: str) -> Series:
+        """Look up one series by configuration name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise BenchmarkError(f"no series {name!r} in {self.experiment}")
+
+    def normalized(self) -> dict[str, dict[int, float]]:
+        """All series normalized to the reference (paper convention)."""
+        ref = self.get(self.reference)
+        return {s.name: s.normalized_to(ref) for s in self.series}
+
+    # -- rendering -----------------------------------------------------------
+    def render(self, normalized: bool = True) -> str:
+        """ASCII table in the paper's normalized-runtime format."""
+        sizes = self.sizes
+        header = (
+            f"{self.experiment}: {self.operation} on {self.machine} "
+            f"({self.nprocs} ranks)"
+            + (f", normalized to {self.reference} (lower is better)"
+               if normalized else ", per-op time")
+        )
+        lines = [header, "-" * len(header)]
+        colw = max(12, max(len(s.name) for s in self.series) + 1)
+        row = ["size".rjust(7)] + [s.name.rjust(colw) for s in self.series]
+        lines.append(" ".join(row))
+        norm = self.normalized() if normalized else None
+        for size in sizes:
+            cells = [fmt_size(size).rjust(7)]
+            for s in self.series:
+                if normalized:
+                    v = norm[s.name].get(size)
+                    cells.append((f"{v:.2f}" if v is not None else "-").rjust(colw))
+                else:
+                    t = s.times.get(size)
+                    cells.append((fmt_time(t) if t is not None else "-").rjust(colw))
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Write absolute and normalized values; returns the file path."""
+        path = path or os.path.join(
+            results_dir(), f"{self.experiment}_{self.machine}.csv"
+        )
+        norm = self.normalized()
+        with open(path, "w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow(["experiment", "machine", "operation", "nprocs",
+                        "series", "msg_bytes", "seconds", "normalized"])
+            for s in self.series:
+                for size in sorted(s.times):
+                    w.writerow([
+                        self.experiment, self.machine, self.operation,
+                        self.nprocs, s.name, size, f"{s.times[size]:.9f}",
+                        f"{norm[s.name].get(size, float('nan')):.4f}",
+                    ])
+        return path
+
+
+def run_sweep(
+    experiment: str,
+    machine: str,
+    operation: str,
+    nprocs: int,
+    stacks: Iterable[Stack],
+    sizes: Iterable[int],
+    settings: Optional[ImbSettings] = None,
+    reference: Optional[str] = None,
+) -> ExperimentResult:
+    """Run the (stack x size) grid and return the collected curves."""
+    stacks = list(stacks)
+    sizes = list(sizes)
+    if not stacks or not sizes:
+        raise BenchmarkError("run_sweep needs at least one stack and one size")
+    settings = settings or ImbSettings()
+    series = []
+    for stack in stacks:
+        s = Series(stack.name)
+        for size in sizes:
+            s.times[size] = imb_time(machine, stack, nprocs, operation, size,
+                                     settings)
+        series.append(s)
+    return ExperimentResult(
+        experiment=experiment,
+        machine=machine,
+        operation=operation,
+        nprocs=nprocs,
+        series=series,
+        reference=reference or stacks[-1].name,
+    )

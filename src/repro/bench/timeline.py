@@ -1,0 +1,92 @@
+"""Copy-timeline rendering from trace records.
+
+Turn a traced run (``Machine.build(..., trace=True)``) into an ASCII
+timeline of data movements — which core copied what, when, over which
+transport — the tool you reach for when a collective's schedule doesn't
+look like Figure 1 or Figure 3.
+
+Usage::
+
+    machine = Machine.build("dancer", trace=True)
+    ... run a job ...
+    print(render_timeline(machine.tracer))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.simtime.trace import TraceRecord, Tracer
+from repro.units import fmt_size, fmt_time
+
+__all__ = ["CopySpan", "extract_copies", "render_timeline", "copy_stats"]
+
+
+@dataclass(frozen=True)
+class CopySpan:
+    """One completed copy, as reconstructed from the trace."""
+
+    time: float
+    core: Optional[int]
+    src: str
+    dst: str
+    nbytes: int
+    kind: str  # "knem" | "fifo-in" | "fifo-out" | "eager-in" | ...
+
+
+def extract_copies(tracer: Tracer) -> list[CopySpan]:
+    """Pull completed-copy records (category ``copy``) out of a tracer."""
+    spans = []
+    for rec in tracer.select("copy"):
+        spans.append(CopySpan(
+            time=rec.time,
+            core=rec.fields.get("core"),
+            src=rec.fields.get("src", "?"),
+            dst=rec.fields.get("dst", "?"),
+            nbytes=rec.fields.get("nbytes", 0),
+            kind=rec.fields.get("label", "copy"),
+        ))
+    return sorted(spans, key=lambda s: s.time)
+
+
+def render_timeline(tracer: Tracer, width: int = 64,
+                    max_rows: int = 200) -> str:
+    """ASCII timeline: one row per copy completion, bucketed by time.
+
+    Requires the tracer to have been enabled during the run.
+    """
+    spans = extract_copies(tracer)
+    if not spans:
+        return "(no copy records — was the tracer enabled?)"
+    t_end = spans[-1].time or 1e-12
+    lines = [
+        f"{len(spans)} copies over {fmt_time(t_end)}   "
+        f"(each row: completion time, core, size, transport)",
+        "-" * (width + 40),
+    ]
+    for span in spans[:max_rows]:
+        pos = min(int(span.time / t_end * (width - 1)), width - 1)
+        bar = "." * pos + "#"
+        core = f"core{span.core:>3}" if span.core is not None else "dma   "
+        lines.append(
+            f"{bar:<{width}} {fmt_time(span.time):>10} {core} "
+            f"{fmt_size(span.nbytes):>6} {span.kind}"
+        )
+    if len(spans) > max_rows:
+        lines.append(f"... {len(spans) - max_rows} more rows elided")
+    return "\n".join(lines)
+
+
+def copy_stats(tracer: Tracer) -> dict:
+    """Aggregate copy statistics per transport kind and per core."""
+    by_kind: dict[str, dict] = {}
+    by_core: dict = {}
+    for span in extract_copies(tracer):
+        k = by_kind.setdefault(span.kind, {"copies": 0, "bytes": 0})
+        k["copies"] += 1
+        k["bytes"] += span.nbytes
+        c = by_core.setdefault(span.core, {"copies": 0, "bytes": 0})
+        c["copies"] += 1
+        c["bytes"] += span.nbytes
+    return {"by_kind": by_kind, "by_core": by_core}

@@ -1,0 +1,35 @@
+"""Collective communication components (the COLL framework of Figure 2).
+
+Five components are registered, selected by
+:class:`~repro.mpi.stacks.Stack`:
+
+- ``basic`` — linear reference algorithms over point-to-point;
+- ``tuned`` — Open MPI's *tuned* component: binomial / split-binary /
+  chain-pipeline broadcast, binomial/linear rooted ops, recursive-doubling
+  and ring allgather, pairwise alltoall, with size-based decision rules;
+- ``mpich2`` — the MPICH2 algorithm set (binomial, van de Geijn broadcast,
+  recursive doubling, ring, pairwise);
+- ``smtree`` — Graham-style shared-memory fan-in/fan-out trees (related
+  work [9]);
+- ``knem`` — the paper's contribution: collectives driving the KNEM driver
+  directly with persistent regions, direction control, NUMA-aware
+  hierarchy, and pipelining.
+"""
+
+from repro.coll.base import BaseColl, make_component, register_component
+from repro.coll.tuning import DEFAULT_TUNING, Tuning
+
+# Importing the component modules registers them.
+from repro.coll import basic as _basic  # noqa: E402,F401
+from repro.coll import tuned as _tuned  # noqa: E402,F401
+from repro.coll import mpich2 as _mpich2  # noqa: E402,F401
+from repro.coll import sm_tree as _sm_tree  # noqa: E402,F401
+from repro.coll import knem_coll as _knem_coll  # noqa: E402,F401
+
+__all__ = [
+    "BaseColl",
+    "make_component",
+    "register_component",
+    "Tuning",
+    "DEFAULT_TUNING",
+]

@@ -1,0 +1,99 @@
+"""Communication-topology helpers shared by the collective components.
+
+All helpers work in *vrank* space: ranks are rotated so the operation root
+is vrank 0 (``vrank = (rank - root) % size``), the standard trick that lets
+one tree shape serve any root.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "vrank_of",
+    "rank_of",
+    "binomial_parent",
+    "binomial_children",
+    "binomial_subtree_size",
+    "binary_parent_children",
+    "chain_neighbors",
+    "segments",
+]
+
+
+def vrank_of(rank: int, root: int, size: int) -> int:
+    """Rotate ``rank`` so the collective root becomes vrank 0."""
+    return (rank - root) % size
+
+
+def rank_of(vrank: int, root: int, size: int) -> int:
+    """Inverse of :func:`vrank_of`."""
+    return (vrank + root) % size
+
+
+def binomial_parent(vrank: int) -> int | None:
+    """Parent of a vrank in the binomial broadcast tree (None for the root).
+
+    The parent clears the lowest set bit: vrank 0b0110 -> 0b0100.
+    """
+    if vrank == 0:
+        return None
+    return vrank & (vrank - 1)
+
+
+def binomial_children(vrank: int, size: int) -> list[int]:
+    """Children of a vrank, in the order a broadcast sends to them.
+
+    vrank ``v`` owns children ``v + 2^k`` for each ``k`` with ``2^k`` above
+    ``v``'s lowest set bit, while the child index stays below ``size``.
+    Children are emitted largest-subtree-first, matching the usual binomial
+    broadcast schedule (the big subtree gets the data earliest).
+    """
+    if size <= 1:
+        return []
+    low = vrank & -vrank if vrank else 1 << (size - 1).bit_length()
+    children: list[int] = []
+    bit = 1
+    while bit < low and vrank + bit < size:
+        children.append(vrank + bit)
+        bit <<= 1
+    return children[::-1]
+
+
+def binomial_subtree_size(vrank: int, size: int) -> int:
+    """Number of vranks in the subtree rooted at ``vrank`` (incl. itself).
+
+    In the binomial tree, the subtree of ``v`` spans the contiguous vrank
+    interval ``[v, v + span)`` with ``span = min(lowbit(v), size - v)``.
+    """
+    if vrank == 0:
+        return size
+    low = vrank & -vrank
+    return min(low, size - vrank)
+
+
+def binary_parent_children(vrank: int, size: int) -> tuple[int | None, list[int]]:
+    """In-order complete binary tree over vranks (pipelined tree broadcast)."""
+    parent = None if vrank == 0 else (vrank - 1) // 2
+    children = [c for c in (2 * vrank + 1, 2 * vrank + 2) if c < size]
+    return parent, children
+
+
+def chain_neighbors(vrank: int, size: int) -> tuple[int | None, int | None]:
+    """Predecessor/successor in the chain (pipeline) topology."""
+    prev = None if vrank == 0 else vrank - 1
+    nxt = None if vrank == size - 1 else vrank + 1
+    return prev, nxt
+
+
+def segments(nbytes: int, segsize: int) -> list[tuple[int, int]]:
+    """Split ``nbytes`` into ``(offset, length)`` segments of ``segsize``."""
+    if nbytes == 0:
+        return [(0, 0)]
+    if segsize <= 0:
+        return [(0, nbytes)]
+    out = []
+    off = 0
+    while off < nbytes:
+        ln = min(segsize, nbytes - off)
+        out.append((off, ln))
+        off += ln
+    return out

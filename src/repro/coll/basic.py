@@ -1,0 +1,17 @@
+"""The ``basic`` component: the linear reference algorithms, unmodified.
+
+Exists as a named registration of :class:`~repro.coll.base.BaseColl` so a
+stack can select it explicitly (correctness baseline, and the delegation
+target inside KNEM-Coll below its 16 KB threshold).
+"""
+
+from __future__ import annotations
+
+from repro.coll.base import BaseColl, register_component
+
+__all__ = ["BasicColl"]
+
+
+@register_component("basic")
+class BasicColl(BaseColl):
+    """Linear algorithms over point-to-point for every operation."""

@@ -1,0 +1,191 @@
+"""NUMA-aware two-level communication trees (Section IV, Figure 1).
+
+Ranks are split into *sets* by NUMA locality (all ranks whose cores share a
+memory domain form one set).  The first tree level holds one **leader** per
+set (the operation root doubles as its own set's leader); every other rank
+is a **leaf** under its set's leader.  A single inter-domain transfer feeds
+each set, minimizing inter-socket traffic, and intra-set transfers hit the
+shared cache.
+
+The ablation tree (``topology_aware=False``) groups ranks by *logical rank
+order* into same-sized chunks — the paper's critique of fixed logical trees
+— so the benefit of topology awareness can be measured in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.topology.distance import leader_order
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import CollCtx
+
+__all__ = ["HierTree", "build_tree", "hierarchy_worthwhile"]
+
+
+@dataclass(frozen=True)
+class HierTree:
+    """A two-level tree over communicator ranks."""
+
+    root: int
+    #: group id -> ordered member ranks (leader first)
+    groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def leaders(self) -> list[int]:
+        return [g[0] for g in self.groups]
+
+    @property
+    def non_root_leaders(self) -> list[int]:
+        return [g[0] for g in self.groups if g[0] != self.root]
+
+    def group_of(self, rank: int) -> tuple[int, ...]:
+        for g in self.groups:
+            if rank in g:
+                return g
+        raise ValueError(f"rank {rank} not in tree")  # pragma: no cover
+
+    def leader_of(self, rank: int) -> int:
+        return self.group_of(rank)[0]
+
+    def leaves_of(self, leader: int) -> list[int]:
+        return [r for r in self.group_of(leader)[1:]]
+
+    def role(self, rank: int) -> str:
+        if rank == self.root:
+            return "root"
+        if rank in self.leaders:
+            return "leader"
+        return "leaf"
+
+
+def build_tree(ctx: "CollCtx", root: int, topology_aware: bool = True) -> HierTree:
+    """Build (and cache) the two-level tree for this communicator and root."""
+    key = ("hier", ctx.comm.cid, root, topology_aware)
+    tree = ctx.cache.get(key)
+    if tree is not None:
+        return tree
+    size = ctx.size
+    spec = ctx.machine.spec
+    if topology_aware:
+        by_domain: dict[int, list[int]] = {}
+        for rank in range(size):
+            dom = spec.core_domain(ctx.comm.core_of(rank))
+            by_domain.setdefault(dom, []).append(rank)
+        root_dom = spec.core_domain(ctx.comm.core_of(root))
+        order = leader_order(spec, ctx.comm.core_of(root), sorted(by_domain))
+        groups = []
+        for dom in order:
+            members = sorted(by_domain[dom])
+            lead = root if dom == root_dom else members[0]
+            rest = [r for r in members if r != lead]
+            groups.append(tuple([lead] + rest))
+        tree = HierTree(root=root, groups=tuple(groups))
+    else:
+        # Rank-order chunks of the same cardinality as the NUMA grouping
+        # would produce — the "logical ranks layout" tree of [9].
+        n_groups = max(
+            len({spec.core_domain(ctx.comm.core_of(r)) for r in range(size)}), 1
+        )
+        base = size // n_groups
+        extra = size % n_groups
+        groups = []
+        start = 0
+        for g in range(n_groups):
+            n = base + (1 if g < extra else 0)
+            chunk = list(range(start, start + n))
+            start += n
+            if root in chunk:
+                chunk.remove(root)
+                chunk.insert(0, root)
+            groups.append(tuple(chunk))
+        tree = HierTree(root=root, groups=tuple(g for g in groups if g))
+    ctx.cache[key] = tree
+    return tree
+
+
+def hierarchy_worthwhile(ctx: "CollCtx") -> bool:
+    """Auto decision: hierarchy pays off when ranks span > 1 memory domain."""
+    spec = ctx.machine.spec
+    domains = {spec.core_domain(ctx.comm.core_of(r)) for r in range(ctx.size)}
+    return len(domains) > 1
+
+
+@dataclass(frozen=True)
+class RelayTree:
+    """A generic relay tree: every rank pulls from its parent's region.
+
+    Used by the multi-level (board > domain > core) pipelined broadcast —
+    the "significantly more complex than two-level" hierarchy the paper
+    motivates for machines like IG, where the two-level tree sends one
+    inter-board transfer *per far-board domain* while a board level relays
+    the message across the interlink once.
+    """
+
+    root: int
+    parent: tuple  # parent[rank] (None for root), indexed by rank
+    children: tuple  # tuple of tuples, indexed by rank
+
+    def role(self, rank: int) -> str:
+        if rank == self.root:
+            return "root"
+        return "relay" if self.children[rank] else "leaf"
+
+
+def build_board_tree(ctx: "CollCtx", root: int) -> RelayTree:
+    """Three-level tree: root -> board leaders -> domain leaders -> leaves."""
+    key = ("hier3", ctx.comm.cid, root)
+    tree = ctx.cache.get(key)
+    if tree is not None:
+        return tree
+    size = ctx.size
+    spec = ctx.machine.spec
+    by_board: dict[int, list[int]] = {}
+    by_domain: dict[int, list[int]] = {}
+    for rank in range(size):
+        core = ctx.comm.core_of(rank)
+        by_board.setdefault(spec.core_board(core), []).append(rank)
+        by_domain.setdefault(spec.core_domain(core), []).append(rank)
+    root_core = ctx.comm.core_of(root)
+    root_board = spec.core_board(root_core)
+    root_domain = spec.core_domain(root_core)
+
+    def board_leader(board: int) -> int:
+        return root if board == root_board else min(by_board[board])
+
+    def domain_leader(domain: int) -> int:
+        members = by_domain[domain]
+        if domain == root_domain:
+            return root
+        # a board leader doubles as leader of its own domain
+        for b in sorted(by_board):
+            bl = board_leader(b)
+            if bl in members:
+                return bl
+        return min(members)
+
+    parent: list = [None] * size
+    for domain in sorted(by_domain):
+        dl = domain_leader(domain)
+        for rank in by_domain[domain]:
+            if rank != dl:
+                parent[rank] = dl
+        if dl == root:
+            continue
+        dl_board = spec.core_board(ctx.comm.core_of(dl))
+        bl = board_leader(dl_board)
+        parent[dl] = root if (bl == dl or bl == root) else bl
+    for board in sorted(by_board):
+        bl = board_leader(board)
+        if bl != root and parent[bl] in (None, bl):
+            parent[bl] = root
+    children: list[list[int]] = [[] for _ in range(size)]
+    for rank, par in enumerate(parent):
+        if par is not None:
+            children[par].append(rank)
+    tree = RelayTree(root=root, parent=tuple(parent),
+                     children=tuple(tuple(c) for c in children))
+    ctx.cache[key] = tree
+    return tree

@@ -1,0 +1,395 @@
+"""KNEM-Coll: the paper's collective component (Section V).
+
+Data movement never goes through point-to-point primitives; the component
+calls the KNEM driver directly, using shared memory "only as an out of band
+channel for synchronization or delivering cookies":
+
+- **Broadcast** — root registers its buffer once (persistent region), the
+  cookie is distributed out-of-band, every receiver's core performs its own
+  in-kernel copy *in parallel* (receiver-reading).  On NUMA machines a
+  two-level topology-aware tree with segment pipelining is used (Figure 1).
+- **Scatter** — like Broadcast, but each receiver reads only its slice
+  (partial region access; offsets computed from rank and counts).
+- **Gather** — direction control: the root registers its *receive* buffer
+  as writable and every sender's core writes its slice concurrently
+  (sender-writing), removing the root-core serialization.
+- **AllGather** — a Gather to rank 0 followed by a Broadcast: deliberately
+  the paper's simple concatenation, which Section VI-D shows losing up to
+  25% to Tuned-KNEM's ring on large NUMA machines.
+- **Alltoall(v)** — every rank registers its send buffer, cookies are
+  exchanged through a pre-allocated shared-memory array, then each rank
+  fetches its blocks receiver-reading with a *rotated* start offset so each
+  sender's memory is accessed by exactly one reader at a time (Figure 3).
+
+Messages below 16 KB and unimplemented operations are delegated to the
+regular (tuned) component, as in the real implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coll.algorithms import segments
+from repro.coll.base import BaseColl, register_component
+from repro.coll.hierarchy import build_board_tree, build_tree, hierarchy_worthwhile
+from repro.coll.tuned import TunedColl
+from repro.errors import CollectiveError
+from repro.hardware.memory import SimBuffer
+from repro.kernel.knem import FLAG_DMA, PROT_READ, PROT_WRITE
+from repro.mpi.communicator import CollCtx
+
+__all__ = ["KnemColl"]
+
+# Phase namespace layout (offsets into the per-call tag space).
+_PH_COOKIE = 0      # root/leader -> peers: region cookie
+_PH_SYNC = 1        # peers -> root/leader: copy-complete notification
+_PH_LEADER_COOKIE = 2
+_PH_LEADER_SYNC = 3
+_PH_SEG_READY = 4   # leader -> leaves: pipelined segment availability
+_PH_BARRIER_A = 900
+_PH_BARRIER_B = 950
+
+
+@register_component("knem")
+class KnemColl(BaseColl):
+    """The KNEM collective component."""
+
+    def __init__(self, world):
+        super().__init__(world)
+        self._fallback = TunedColl(world)
+
+    # -- helpers --------------------------------------------------------------
+    @property
+    def _knem(self):
+        return self.world.machine.knem
+
+    def _delegate(self, nbytes: int) -> bool:
+        return nbytes < self.tuning.knem_min
+
+    def _hierarchical(self, ctx: CollCtx) -> bool:
+        forced = self.tuning.hierarchical
+        if forced is not None:
+            return forced and ctx.size > 1
+        return hierarchy_worthwhile(ctx)
+
+    def _segsize(self, nbytes: int) -> int:
+        if not self.tuning.pipeline:
+            return nbytes
+        if nbytes >= self.tuning.pipeline_large_at:
+            return self.tuning.pipeline_seg_large
+        return self.tuning.pipeline_seg_intermediate
+
+    # ------------------------------------------------------------- broadcast
+    def bcast(self, ctx: CollCtx, buf: SimBuffer, offset: int, nbytes: int,
+              root: int):
+        if ctx.size == 1:
+            return
+        if self._delegate(nbytes):
+            yield from self._fallback.bcast(ctx, buf, offset, nbytes, root)
+            return
+        if not self._hierarchical(ctx):
+            yield from self._bcast_linear(ctx, buf, offset, nbytes, root)
+        elif (self.tuning.hierarchy_levels >= 3
+                and ctx.machine.spec.n_boards > 1):
+            yield from self._bcast_multilevel(ctx, buf, offset, nbytes, root)
+        else:
+            yield from self._bcast_hierarchical(ctx, buf, offset, nbytes, root)
+
+    def _bcast_linear(self, ctx: CollCtx, buf: SimBuffer, offset: int,
+                      nbytes: int, root: int):
+        """One region, one cookie broadcast, P-1 parallel receiver reads."""
+        knem = self._knem
+        core = ctx.proc.core
+        if ctx.rank == root:
+            cookie = yield from knem.create_region(core, buf, offset, nbytes,
+                                                   PROT_READ)
+            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
+                    for peer in range(ctx.size) if peer != root]
+            for req in reqs:
+                yield req.event
+            for peer in range(ctx.size):
+                if peer != root:
+                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, cookie)
+        else:
+            cookie, _st = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
+            flags = FLAG_DMA if self.tuning.dma_offload else 0
+            yield from knem.copy(core, cookie, 0, buf, offset, nbytes,
+                                 write=False, flags=flags)
+            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+
+    def _bcast_hierarchical(self, ctx: CollCtx, buf: SimBuffer, offset: int,
+                            nbytes: int, root: int):
+        """Two-level tree with segment pipelining (Figure 1).
+
+        The root registers once; leaders pull segments from the root region
+        and re-export their own buffer to their leaves, which pull each
+        segment as soon as the leader announces it — overlapping the
+        inter-domain and intra-domain copies.
+        """
+        knem = self._knem
+        core = ctx.proc.core
+        tree = build_tree(ctx, root, topology_aware=self.tuning.topology_aware)
+        segsize = self._segsize(nbytes)
+        segs = segments(nbytes, segsize)
+        role = tree.role(ctx.rank)
+
+        if role == "root":
+            cookie = yield from knem.create_region(core, buf, offset, nbytes,
+                                                   PROT_READ)
+            peers = tree.non_root_leaders + tree.leaves_of(root)
+            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
+                    for peer in peers]
+            for req in reqs:
+                yield req.event
+            for peer in peers:
+                yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, cookie)
+
+        elif role == "leader":
+            root_cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
+            my_cookie = yield from knem.create_region(core, buf, offset,
+                                                      nbytes, PROT_READ)
+            leaves = tree.leaves_of(ctx.rank)
+            reqs = [ctx.isend_obj(leaf, my_cookie, phase=_PH_LEADER_COOKIE)
+                    for leaf in leaves]
+            for seg_index, (seg_off, seg_len) in enumerate(segs):
+                yield from knem.copy(core, root_cookie, seg_off, buf,
+                                     offset + seg_off, seg_len, write=False)
+                # Per-segment availability flags are cheap shared-memory
+                # stores, but they execute on the leader's critical path —
+                # the synchronization cost that makes too-small pipeline
+                # segments lose (Section VI-B).
+                for leaf in leaves:
+                    yield from ctx.send_obj(leaf, seg_index,
+                                            phase=_PH_SEG_READY)
+            for req in reqs:
+                yield req.event
+            for leaf in leaves:
+                yield from ctx.recv_obj(leaf, phase=_PH_LEADER_SYNC)
+            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, my_cookie)
+
+        else:  # leaf
+            leader = tree.leader_of(ctx.rank)
+            if leader == root:
+                # Root-set leaves read the whole message straight from the
+                # root region (the data is fully available from the start).
+                cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
+                yield from knem.copy(core, cookie, 0, buf, offset, nbytes,
+                                     write=False)
+                yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+            else:
+                cookie, _ = yield from ctx.recv_obj(leader,
+                                                    phase=_PH_LEADER_COOKIE)
+                for seg_off, seg_len in segs:
+                    yield from ctx.recv_obj(leader, phase=_PH_SEG_READY)
+                    yield from knem.copy(core, cookie, seg_off, buf,
+                                         offset + seg_off, seg_len,
+                                         write=False)
+                yield from ctx.send_obj(leader, None, phase=_PH_LEADER_SYNC)
+
+    def _bcast_multilevel(self, ctx: CollCtx, buf: SimBuffer, offset: int,
+                          nbytes: int, root: int):
+        """Generic relay-tree pipelined broadcast (board > domain > core).
+
+        Every relay registers its buffer once; each rank pulls segment *s*
+        from its parent's region as soon as the parent announces it (root
+        segments are available immediately), and re-announces to its own
+        children — one inter-board transfer per board instead of one per
+        far-board domain.
+        """
+        knem = self._knem
+        core = ctx.proc.core
+        tree = build_board_tree(ctx, root)
+        me = ctx.rank
+        par = tree.parent[me]
+        kids = tree.children[me]
+        segs = segments(nbytes, self._segsize(nbytes))
+
+        my_cookie = None
+        if kids:
+            my_cookie = yield from knem.create_region(core, buf, offset,
+                                                      nbytes, PROT_READ)
+        if par is None:  # root: everything is available from the start
+            reqs = [ctx.isend_obj(kid, my_cookie, phase=_PH_COOKIE)
+                    for kid in kids]
+            for req in reqs:
+                yield req.event
+        else:
+            parent_cookie, _ = yield from ctx.recv_obj(par, phase=_PH_COOKIE)
+            reqs = [ctx.isend_obj(kid, my_cookie, phase=_PH_COOKIE)
+                    for kid in kids]
+            for req in reqs:
+                yield req.event
+            for seg_index, (seg_off, seg_len) in enumerate(segs):
+                if par != tree.root:
+                    yield from ctx.recv_obj(par, phase=_PH_SEG_READY)
+                yield from knem.copy(core, parent_cookie, seg_off, buf,
+                                     offset + seg_off, seg_len, write=False)
+                for kid in kids:
+                    yield from ctx.send_obj(kid, seg_index,
+                                            phase=_PH_SEG_READY)
+        for kid in kids:
+            yield from ctx.recv_obj(kid, phase=_PH_SYNC)
+        if par is not None:
+            yield from ctx.send_obj(par, None, phase=_PH_SYNC)
+        if my_cookie is not None:
+            yield from knem.destroy_region(core, my_cookie)
+
+    # ------------------------------------------------------------------- scatter
+    def scatterv(self, ctx: CollCtx, sendbuf: Optional[SimBuffer],
+                 counts: list[int], displs: list[int], recvbuf: SimBuffer,
+                 root: int):
+        if self._delegate(max(counts, default=0)):
+            yield from self._fallback.scatterv(ctx, sendbuf, counts, displs,
+                                               recvbuf, root)
+            return
+        knem = self._knem
+        core = ctx.proc.core
+        if ctx.rank == root:
+            if sendbuf is None:
+                raise CollectiveError("scatter root requires a send buffer")
+            cookie = yield from knem.create_region(core, sendbuf, 0,
+                                                   sendbuf.size, PROT_READ)
+            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
+                    for peer in range(ctx.size) if peer != root]
+            yield from self._local_copy(ctx, sendbuf, displs[root], recvbuf,
+                                        0, counts[root])
+            for req in reqs:
+                yield req.event
+            for peer in range(ctx.size):
+                if peer != root:
+                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, cookie)
+        else:
+            cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
+            # Receiver-reading: this rank's core pulls only its slice
+            # (partial region access at the slice offset).
+            yield from knem.copy(core, cookie, displs[ctx.rank], recvbuf, 0,
+                                 counts[ctx.rank], write=False)
+            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+
+    # -------------------------------------------------------------------- gather
+    def gatherv(self, ctx: CollCtx, sendbuf: SimBuffer,
+                recvbuf: Optional[SimBuffer], counts: list[int],
+                displs: list[int], root: int):
+        if self._delegate(max(counts, default=0)):
+            yield from self._fallback.gatherv(ctx, sendbuf, recvbuf, counts,
+                                              displs, root)
+            return
+        if self.tuning.gather_direction_write:
+            yield from self._gather_write(ctx, sendbuf, recvbuf, counts,
+                                          displs, root)
+        else:
+            yield from self._gather_root_reads(ctx, sendbuf, recvbuf, counts,
+                                               displs, root)
+
+    def _gather_write(self, ctx, sendbuf, recvbuf, counts, displs, root):
+        """Direction control: all senders write the root region in parallel."""
+        knem = self._knem
+        core = ctx.proc.core
+        if ctx.rank == root:
+            if recvbuf is None:
+                raise CollectiveError("gather root requires a receive buffer")
+            cookie = yield from knem.create_region(core, recvbuf, 0,
+                                                   recvbuf.size, PROT_WRITE)
+            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
+                    for peer in range(ctx.size) if peer != root]
+            yield from self._local_copy(ctx, sendbuf, 0, recvbuf,
+                                        displs[root], counts[root])
+            for req in reqs:
+                yield req.event
+            for peer in range(ctx.size):
+                if peer != root:
+                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, cookie)
+        else:
+            cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
+            # Sender-writing: this core pushes its block into the root
+            # buffer at its displacement, concurrently with every peer.
+            yield from knem.copy(core, cookie, displs[ctx.rank], sendbuf, 0,
+                                 counts[ctx.rank], write=True)
+            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+
+    def _gather_root_reads(self, ctx, sendbuf, recvbuf, counts, displs, root):
+        """Ablation: no direction control — the root's core does every copy."""
+        knem = self._knem
+        core = ctx.proc.core
+        if ctx.rank == root:
+            if recvbuf is None:
+                raise CollectiveError("gather root requires a receive buffer")
+            cookies = {}
+            for peer in range(ctx.size):
+                if peer == root:
+                    continue
+                cookie, _ = yield from ctx.recv_obj(peer, phase=_PH_COOKIE)
+                cookies[peer] = cookie
+            yield from self._local_copy(ctx, sendbuf, 0, recvbuf,
+                                        displs[root], counts[root])
+            for peer, cookie in cookies.items():
+                yield from knem.copy(core, cookie, 0, recvbuf, displs[peer],
+                                     counts[peer], write=False)
+            reqs = [ctx.isend_obj(peer, None, phase=_PH_SYNC)
+                    for peer in cookies]
+            for req in reqs:
+                yield req.event
+        else:
+            cookie = yield from knem.create_region(core, sendbuf, 0,
+                                                   counts[ctx.rank], PROT_READ)
+            yield from ctx.send_obj(root, cookie, phase=_PH_COOKIE)
+            yield from ctx.recv_obj(root, phase=_PH_SYNC)
+            yield from knem.destroy_region(core, cookie)
+
+    # ------------------------------------------------------------------- allgather
+    def allgatherv(self, ctx: CollCtx, sendbuf: SimBuffer, recvbuf: SimBuffer,
+                   counts: list[int], displs: list[int]):
+        if self._delegate(max(counts, default=0)):
+            yield from self._fallback.allgatherv(ctx, sendbuf, recvbuf,
+                                                 counts, displs)
+            return
+        # The paper's simple assembly: Gather to rank 0, then Broadcast of
+        # the assembled buffer (Section V-C) — knowingly root-bottlenecked.
+        total = max((d + c for d, c in zip(displs, counts)), default=0)
+        yield from self.gatherv(ctx.sub(0), sendbuf, recvbuf, counts, displs,
+                                root=0)
+        yield from self.bcast(ctx.sub(100), recvbuf, 0, total, root=0)
+
+    # --------------------------------------------------------------------- alltoall
+    def alltoallv(self, ctx: CollCtx, sendbuf: SimBuffer,
+                  send_counts: list[int], send_displs: list[int],
+                  recvbuf: SimBuffer, recv_counts: list[int],
+                  recv_displs: list[int]):
+        if self._delegate(max(send_counts, default=0)):
+            yield from self._fallback.alltoallv(
+                ctx, sendbuf, send_counts, send_displs,
+                recvbuf, recv_counts, recv_displs,
+            )
+            return
+        knem = self._knem
+        core = ctx.proc.core
+        me, size = ctx.rank, ctx.size
+        cookie = yield from knem.create_region(core, sendbuf, 0, sendbuf.size,
+                                               PROT_READ)
+        # Cookie exchange through the pre-allocated shared-memory array
+        # (an out-of-band AllGather over shared memory, not KNEM).
+        yield from ctx.board_post((cookie, tuple(send_counts),
+                                   tuple(send_displs)))
+        yield from ctx.dissemination_barrier(_PH_BARRIER_A)
+        yield from self._local_copy(ctx, sendbuf, send_displs[me], recvbuf,
+                                    recv_displs[me], recv_counts[me])
+        order = (range(1, size) if self.tuning.rotate_alltoall
+                 else [p for p in range(size) if p != me])
+        for step in order:
+            peer = (me + step) % size if self.tuning.rotate_alltoall else step
+            peer_cookie, peer_counts, peer_displs = ctx.board_get(peer)
+            if peer_counts[me] != recv_counts[peer]:
+                raise CollectiveError(
+                    f"alltoallv count mismatch: rank {peer} sends "
+                    f"{peer_counts[me]}B, rank {me} expects {recv_counts[peer]}B"
+                )
+            yield from knem.copy(core, peer_cookie, peer_displs[me], recvbuf,
+                                 recv_displs[peer], recv_counts[peer],
+                                 write=False)
+        yield from ctx.dissemination_barrier(_PH_BARRIER_B)
+        yield from knem.destroy_region(core, cookie)

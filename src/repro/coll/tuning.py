@@ -1,0 +1,96 @@
+"""Tuning knobs for the collective components.
+
+The values mirror the paper's Section VI-B conclusions for KNEM-Coll (16 KB
+pipeline fragments for intermediate messages, 512 KB for large ones on IG)
+and the published switch-points of the Open MPI *tuned* and MPICH2 decision
+functions for the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KiB, MiB
+
+__all__ = ["Tuning", "DEFAULT_TUNING"]
+
+
+@dataclass(frozen=True)
+class Tuning:
+    """All collective switch-points and segment sizes (bytes).
+
+    KNEM-Coll (the paper's component):
+
+    - ``knem_min`` — below this the component delegates to the basic
+      point-to-point algorithms (kernel-trap overhead dominates; the paper
+      only engages KNEM beyond 16 KB).
+    - ``pipeline_seg_intermediate`` / ``pipeline_seg_large`` — segment sizes
+      of the hierarchical pipelined broadcast, with the crossover at
+      ``pipeline_large_at`` (Figure 4's tuning: 16 KB below 2 MB, 512 KB
+      above).
+    - ``hierarchical`` — ``None`` selects automatically (hierarchy on
+      machines with more than one memory domain); ``True``/``False`` force.
+    - ``pipeline`` — disable to get the unpipelined hierarchical variant
+      (the Figure 4 baseline).
+    - ``rotate_alltoall`` — disable the round-robin start-offset schedule
+      (ablation; Figure 3 shows the rotation).
+    - ``gather_direction_write`` — disable sender-writing direction control
+      in Gather (ablation; falls back to root-driven reads).
+
+    Open MPI *tuned*:
+
+    - bcast: binomial below ``tuned_bcast_binomial_max``, split-binary to
+      ``tuned_bcast_splitbin_max``, chain pipeline above (segment
+      ``tuned_bcast_segsize``).
+    - gather/scatter: binomial below ``tuned_gather_binomial_max``, linear
+      above.
+    - allgather: recursive doubling / ring crossover at
+      ``tuned_allgather_ring_min``.
+
+    MPICH2: binomial bcast below ``mpich_bcast_binomial_max``, then
+    scatter+ring-allgather (van de Geijn); allgather recursive-doubling for
+    power-of-two sizes below ``mpich_allgather_ring_min``, ring above.
+    """
+
+    # --- KNEM-Coll -----------------------------------------------------
+    knem_min: int = 16 * KiB
+    pipeline_seg_intermediate: int = 16 * KiB
+    pipeline_seg_large: int = 512 * KiB
+    pipeline_large_at: int = 2 * MiB
+    hierarchical: bool | None = None
+    pipeline: bool = True
+    rotate_alltoall: bool = True
+    gather_direction_write: bool = True
+    topology_aware: bool = True
+    #: Offload broadcast copies to the I/OAT DMA engine instead of receiver
+    #: cores (KNEM's hardware-offload feature, Section III).  Frees the
+    #: receiving cores but serializes on the single DMA engine — an
+    #: instructive ablation, off by default like in the paper's runs.
+    dma_offload: bool = False
+    #: Depth of the NUMA-aware broadcast tree: 2 = the paper's Figure 1
+    #: (root -> domain leaders -> leaves); 3 adds a *board* level on
+    #: multi-board machines (root -> board leaders -> domain leaders ->
+    #: leaves), crossing the inter-board link once per board instead of
+    #: once per far-board domain — the deeper hierarchy the paper's
+    #: Section IV motivates and leaves as future work.
+    hierarchy_levels: int = 2
+
+    # --- Open MPI tuned ------------------------------------------------
+    tuned_bcast_binomial_max: int = 16 * KiB
+    tuned_bcast_splitbin_max: int = 128 * KiB
+    tuned_bcast_segsize: int = 128 * KiB
+    tuned_gather_binomial_max: int = 6 * KiB
+    tuned_allgather_ring_min: int = 64 * KiB
+    tuned_alltoall_pairwise_min: int = 4 * KiB
+
+    # --- MPICH2 -----------------------------------------------------------
+    mpich_bcast_binomial_max: int = 12 * KiB
+    mpich_allgather_ring_min: int = 512 * KiB
+    mpich_gather_binomial_max: int = 8 * KiB
+
+    # --- SM tree (Graham fan-in/fan-out) -----------------------------------
+    sm_tree_degree: int = 4
+    sm_tree_segsize: int = 32 * KiB
+
+
+DEFAULT_TUNING = Tuning()

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch simulation-level failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "HardwareConfigError",
+    "RoutingError",
+    "KernelError",
+    "KnemError",
+    "KnemInvalidCookie",
+    "KnemPermissionError",
+    "KnemBoundsError",
+    "ShmError",
+    "MpiError",
+    "TruncationError",
+    "CommunicatorError",
+    "CollectiveError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event engine (misuse or inconsistency)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked."""
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        detail = ", ".join(blocked) if blocked else "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {detail}")
+
+
+class HardwareConfigError(ReproError):
+    """A machine specification is internally inconsistent."""
+
+
+class RoutingError(HardwareConfigError):
+    """No link path exists between two memory domains."""
+
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel failures."""
+
+
+class KnemError(KernelError):
+    """Base class for KNEM driver failures (maps to ioctl() errors)."""
+
+
+class KnemInvalidCookie(KnemError):
+    """The cookie does not name a live region (EINVAL in the real driver)."""
+
+
+class KnemPermissionError(KnemError):
+    """Access direction not permitted by the region's protection flags."""
+
+
+class KnemBoundsError(KnemError):
+    """A copy request falls outside the registered region."""
+
+
+class ShmError(KernelError):
+    """Shared-memory segment misuse (overflow, double attach, ...)."""
+
+
+class MpiError(ReproError):
+    """Base class for MPI-layer failures."""
+
+
+class TruncationError(MpiError):
+    """An incoming message is longer than the posted receive buffer."""
+
+
+class CommunicatorError(MpiError):
+    """Invalid rank/root/communicator argument."""
+
+
+class CollectiveError(MpiError):
+    """A collective component hit an unsupported or inconsistent request."""
+
+
+class BenchmarkError(ReproError):
+    """The benchmarking harness was misconfigured."""

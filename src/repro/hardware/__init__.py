@@ -1,0 +1,46 @@
+"""Hardware models: machine specifications, flow-level bandwidth arbitration,
+cache residency, and the memory system that turns copy requests into
+simulated data movement.
+
+The four machines from the paper's evaluation (Section VI-A) are available
+from :mod:`repro.hardware.machines` as :func:`zoot`, :func:`dancer`,
+:func:`saturn`, and :func:`ig`.
+"""
+
+from repro.hardware.cache import CacheDomain, CacheSystem
+from repro.hardware.flows import Flow, FlowNetwork, Resource
+from repro.hardware.machines import (
+    MACHINES,
+    dancer,
+    get_machine,
+    ig,
+    saturn,
+    smp_machine,
+    numa_machine,
+    zoot,
+)
+from repro.hardware.memory import CopyRequest, MemorySystem, SimBuffer
+from repro.hardware.spec import CacheSpec, CoreSpec, LinkSpec, MachineSpec
+
+__all__ = [
+    "CacheSpec",
+    "CoreSpec",
+    "LinkSpec",
+    "MachineSpec",
+    "Resource",
+    "Flow",
+    "FlowNetwork",
+    "CacheDomain",
+    "CacheSystem",
+    "SimBuffer",
+    "CopyRequest",
+    "MemorySystem",
+    "zoot",
+    "dancer",
+    "saturn",
+    "ig",
+    "smp_machine",
+    "numa_machine",
+    "get_machine",
+    "MACHINES",
+]

@@ -1,0 +1,242 @@
+"""Range-accurate LRU cache-residency model.
+
+The model tracks, per *cache domain* (a group of cores sharing a cache —
+Zoot's L2 per core-pair, the per-socket L3 elsewhere), exactly which byte
+ranges of which buffers are resident, as a set of disjoint intervals.
+Copies query the hit fraction of the precise range they are about to read,
+and install the ranges they read and wrote.  Range accuracy matters: a
+pipeline streaming *new* segments of a big buffer must see misses even
+though *earlier* segments of the same buffer are resident.
+
+This captures the cache effects the paper's evaluation depends on:
+
+- **cache reuse** — a broadcast source that stays resident is re-read by
+  in-domain peers at cache rather than memory bandwidth (why ASP's gain
+  exceeds the off-cache synthetic benchmark's, Section VI-E);
+- **cache pollution** — copy-in/copy-out FIFOs install intermediate bytes,
+  evicting application data (Section I's second identified problem).
+
+Eviction is LRU at two granularities: least-recently-touched buffer first,
+and within it, oldest-inserted ranges first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Deque, Iterable
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import MachineSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.memory import SimBuffer
+
+__all__ = ["CacheDomain", "CacheSystem"]
+
+
+class _Ranges:
+    """Disjoint, insertion-ordered byte ranges of one buffer.
+
+    Each span is ``[start, end, dirty]``: *dirty* spans hold lines written
+    by a copy destination (another core reading them needs a coherence
+    intervention); *clean* spans were loaded by reads.
+    """
+
+    __slots__ = ("spans", "total")
+
+    def __init__(self) -> None:
+        # deque of [start, end, dirty) in insertion order (oldest left)
+        self.spans: Deque[list] = deque()
+        self.total = 0
+
+    def overlap(self, start: int, end: int) -> tuple[int, int]:
+        """Resident bytes of [start, end) as ``(clean, dirty)``."""
+        clean = dirty = 0
+        for s, e, d in self.spans:
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                if d:
+                    dirty += hi - lo
+                else:
+                    clean += hi - lo
+        return clean, dirty
+
+    def insert(self, start: int, end: int, dirty: bool) -> int:
+        """Insert [start, end) with the given state; returns net bytes added.
+
+        Overlapped portions of existing spans are carved out (the new span
+        owns its range and sits at the young end); non-overlapped remainders
+        keep their age and state.
+        """
+        if end <= start:
+            return 0
+        keep: Deque[list] = deque()
+        removed = 0
+        for span in self.spans:
+            s, e, d = span
+            if e <= start or s >= end:
+                keep.append(span)
+                continue
+            if s < start:
+                keep.append([s, start, d])
+            if e > end:
+                keep.append([end, e, d])
+            removed += min(e, end) - max(s, start)
+        keep.append([start, end, dirty])
+        self.spans = keep
+        added = (end - start) - removed
+        self.total += added
+        return added
+
+    def evict_oldest(self, nbytes: int) -> int:
+        """Drop up to ``nbytes`` from the oldest spans; returns bytes dropped."""
+        dropped = 0
+        while nbytes > dropped and self.spans:
+            s, e, d = self.spans[0]
+            ln = e - s
+            if ln <= nbytes - dropped:
+                self.spans.popleft()
+                dropped += ln
+            else:
+                self.spans[0][0] = s + (nbytes - dropped)
+                dropped = nbytes
+        self.total -= dropped
+        return dropped
+
+
+class CacheDomain:
+    """One shared cache: range-LRU over buffers."""
+
+    def __init__(self, name: str, capacity: int, bandwidth: float,
+                 cores: Iterable[int]):
+        if capacity <= 0:
+            raise HardwareConfigError(f"cache {name}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.bandwidth = bandwidth
+        self.cores = frozenset(cores)
+        self._buffers: OrderedDict[int, _Ranges] = OrderedDict()
+        self._total = 0
+        self.evicted_bytes = 0
+
+    @property
+    def used(self) -> int:
+        return self._total
+
+    def resident_bytes(self, buffer_id: int) -> int:
+        r = self._buffers.get(buffer_id)
+        return r.total if r is not None else 0
+
+    def touch(self, buffer_id: int, start: int, nbytes: int,
+              dirty: bool = False) -> None:
+        """Install ``[start, start+nbytes)`` (keeping the trailing window if
+        the range alone exceeds the cache), evicting LRU ranges as needed.
+
+        ``dirty`` marks the range as written (copy destination)."""
+        if nbytes <= 0:
+            return
+        end = start + nbytes
+        if nbytes > self.capacity:
+            start = end - self.capacity  # streaming leaves only the tail
+        ranges = self._buffers.pop(buffer_id, None)
+        if ranges is None:
+            ranges = _Ranges()
+        self._buffers[buffer_id] = ranges  # most-recently-used position
+        self._total += ranges.insert(start, end, dirty)
+        self._evict_to_capacity(protect=buffer_id)
+
+    def _evict_to_capacity(self, protect: int) -> None:
+        while self._total > self.capacity:
+            victim_id = next(iter(self._buffers))
+            need = self._total - self.capacity
+            if victim_id == protect and len(self._buffers) > 1:
+                # The protected buffer is oldest but others exist: age it to
+                # the young end once so the others get evicted first.
+                self._buffers.move_to_end(victim_id)
+                victim_id = next(iter(self._buffers))
+            victim = self._buffers[victim_id]
+            dropped = victim.evict_oldest(need)
+            self._total -= dropped
+            self.evicted_bytes += dropped
+            if victim.total == 0:
+                del self._buffers[victim_id]
+            if dropped == 0:  # pragma: no cover - defensive
+                raise HardwareConfigError("cache eviction made no progress")
+
+    def residency(self, buffer_id: int, start: int,
+                  nbytes: int) -> tuple[float, float]:
+        """Hit fractions ``(clean, dirty)`` of ``[start, start+nbytes)``."""
+        if nbytes <= 0:
+            return 0.0, 0.0
+        r = self._buffers.get(buffer_id)
+        if r is None:
+            return 0.0, 0.0
+        clean, dirty = r.overlap(start, start + nbytes)
+        return clean / nbytes, dirty / nbytes
+
+    def invalidate(self, buffer_id: int) -> None:
+        r = self._buffers.pop(buffer_id, None)
+        if r is not None:
+            self._total -= r.total
+
+    def flush(self) -> None:
+        self._buffers.clear()
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CacheDomain {self.name} {self._total}/{self.capacity}B>"
+
+
+class CacheSystem:
+    """All last-level cache domains of a machine, indexed by core.
+
+    Only the LLC participates in copy-bandwidth blending (the paper's cache
+    effects are LLC effects); narrower levels still appear in the topology
+    tree for distance computation.
+    """
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        llc = spec.llc
+        self.domains: list[CacheDomain] = []
+        self._core_domain: dict[int, CacheDomain] = {}
+        seen: set[tuple[int, ...]] = set()
+        for core in range(spec.n_cores):
+            group = spec.cache_group(core, llc)
+            if group in seen:
+                continue
+            seen.add(group)
+            dom = CacheDomain(
+                name=f"llc[{group[0]}-{group[-1]}]",
+                capacity=llc.size,
+                bandwidth=llc.bandwidth,
+                cores=group,
+            )
+            self.domains.append(dom)
+            for c in group:
+                self._core_domain[c] = dom
+
+    def domain_of(self, core: int) -> CacheDomain:
+        try:
+            return self._core_domain[core]
+        except KeyError:
+            raise HardwareConfigError(f"core {core} out of range") from None
+
+    def residency(self, core: int, buf: "SimBuffer", start: int = 0,
+                  nbytes: int | None = None) -> tuple[float, float]:
+        """``(clean, dirty)`` hit fractions in ``core``'s LLC domain."""
+        nbytes = buf.size if nbytes is None else nbytes
+        return self.domain_of(core).residency(buf.id, start, nbytes)
+
+    def touch(self, core: int, buf: "SimBuffer", start: int, nbytes: int,
+              dirty: bool = False) -> None:
+        self.domain_of(core).touch(buf.id, start, nbytes, dirty=dirty)
+
+    def invalidate(self, buf: "SimBuffer") -> None:
+        """Drop a buffer from every cache (used by IMB off-cache mode)."""
+        for dom in self.domains:
+            dom.invalidate(buf.id)
+
+    def flush_all(self) -> None:
+        for dom in self.domains:
+            dom.flush()

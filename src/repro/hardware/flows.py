@@ -1,0 +1,328 @@
+"""Weighted max-min fair fluid-flow network.
+
+Every in-flight memory copy is a *flow* with
+
+- a **demand cap** (the executing copy engine's maximum rate),
+- a set of **resources** it traverses (memory ports, links), each with a
+  per-flow **weight** (an intra-domain memcpy loads its controller with
+  read *and* write traffic, so it carries weight 2 there; a cache-hot read
+  carries a fractional weight on the source port), and
+- a number of **remaining bytes**.
+
+Rates are assigned by progressive filling (weighted max-min fairness): all
+active flows grow their rate together until a resource saturates or a flow
+hits its demand cap; saturated/capped flows freeze and the rest continue.
+On every flow arrival or departure the network advances each flow's byte
+account at its old rate and recomputes the allocation — the classic
+flow-level approximation used in network simulation, applied here to the
+memory system.  This reproduces the contention phenomena the paper leans
+on: a linear broadcast saturating the root's memory port, FIFO double copies
+loading a controller twice, and cross-board traffic crowding IG's interlink.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.simtime.core import Event, Simulator
+
+__all__ = ["Resource", "Flow", "FlowNetwork"]
+
+#: Bytes below which a flow is considered finished.  A quarter byte is far
+#: below physical relevance but large enough that the completion horizon
+#: stays representable against float accumulation error in ``sim.now``.
+_EPS_BYTES = 0.25
+#: Rate below which a resource is considered saturated.
+_EPS_RATE = 1e-3
+
+
+class Resource:
+    """A capacity-limited hardware component (memory port, link, engine).
+
+    ``contention_knee``/``contention_alpha`` model throughput degradation
+    under many concurrent streams (DRAM row-buffer and bank-locality loss):
+    beyond ``knee`` simultaneous flows, effective capacity shrinks as
+    ``capacity / (1 + alpha * (n - knee))``.  Zero alpha disables it
+    (links, copy engines).
+    """
+
+    __slots__ = ("name", "capacity", "flows", "contention_knee",
+                 "contention_alpha")
+
+    def __init__(self, name: str, capacity: float, contention_knee: int = 0,
+                 contention_alpha: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError(f"resource {name}: capacity must be positive")
+        if contention_alpha < 0 or contention_knee < 0:
+            raise SimulationError(f"resource {name}: bad contention parameters")
+        self.name = name
+        self.capacity = capacity
+        self.contention_knee = contention_knee
+        self.contention_alpha = contention_alpha
+        #: live flows traversing this resource (maintained by the network)
+        self.flows: set["Flow"] = set()
+
+    def effective_capacity(self, n_flows: int | None = None) -> float:
+        """Capacity available given the number of concurrent streams."""
+        if not self.contention_alpha:
+            return self.capacity
+        n = len(self.flows) if n_flows is None else n_flows
+        if n <= self.contention_knee:
+            return self.capacity
+        return self.capacity / (1.0 + self.contention_alpha * (n - self.contention_knee))
+
+    @property
+    def load(self) -> float:
+        """Current allocated throughput (weighted) on this resource."""
+        return sum(f.rate * f.weights[self] for f in self.flows)
+
+    @property
+    def utilization(self) -> float:
+        return self.load / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Resource {self.name} cap={self.capacity:.3g} flows={len(self.flows)}>"
+
+
+class Flow:
+    """One in-flight transfer (created via :meth:`FlowNetwork.transfer`).
+
+    ``streams`` optionally overrides how many contention *streams* this flow
+    contributes to each resource (default 1.0): posted writes disturb a DRAM
+    controller's scheduling far less than latency-sensitive read streams, so
+    the memory system counts them fractionally.
+    """
+
+    __slots__ = ("id", "demand", "weights", "remaining", "rate", "event",
+                 "label", "streams")
+
+    _ids = itertools.count(1)
+
+    def __init__(self, demand: float, weights: dict[Resource, float], nbytes: float,
+                 event: Event, label: str = "",
+                 streams: Optional[dict[Resource, float]] = None):
+        if demand <= 0:
+            raise SimulationError("flow demand cap must be positive")
+        if any(w <= 0 for w in weights.values()):
+            raise SimulationError("flow resource weights must be positive")
+        self.id = next(Flow._ids)
+        self.demand = demand
+        self.weights = weights
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.event = event
+        self.label = label
+        self.streams = streams or {}
+
+    def streams_on(self, res: Resource) -> float:
+        return self.streams.get(res, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Flow#{self.id} {self.label} rem={self.remaining:.0f}B rate={self.rate:.3g}>"
+
+
+class FlowNetwork:
+    """Tracks active flows, assigns fair rates, fires completion events."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._active: set[Flow] = set()
+        self._last_update = 0.0
+        self._wake_generation = 0
+        self._rebalance_pending = False
+        #: lifetime statistics
+        self.completed_flows = 0
+        self.completed_bytes = 0.0
+
+    # -- public API ---------------------------------------------------------
+    def transfer(
+        self,
+        nbytes: float,
+        demand: float,
+        weights: dict[Resource, float],
+        latency: float = 0.0,
+        label: str = "",
+        streams: Optional[dict[Resource, float]] = None,
+    ) -> Event:
+        """Start a transfer; the returned event fires at completion.
+
+        ``latency`` is a fixed startup delay served before the fluid phase
+        (memory access latency, link hops).  A zero-byte transfer completes
+        after just the latency.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        done = Event(self.sim, name=f"flow:{label}")
+        if nbytes == 0:
+            self.sim.schedule(latency, lambda: done.succeed(None))
+            return done
+        flow = Flow(demand, weights, nbytes, done, label=label, streams=streams)
+        if latency > 0:
+            self.sim.schedule(latency, lambda: self._admit(flow))
+        else:
+            self._admit(flow)
+        return done
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    # -- internals ----------------------------------------------------------
+    def _admit(self, flow: Flow) -> None:
+        self._advance()
+        self._active.add(flow)
+        for res in flow.weights:
+            res.flows.add(flow)
+        # Defer the (expensive) reassignment to a zero-delay event so a burst
+        # of same-instant arrivals — e.g. every leaf of a broadcast tree
+        # starting its segment copy together — pays for one rebalance.
+        if not self._rebalance_pending:
+            self._rebalance_pending = True
+            self.sim.schedule(0.0, self._deferred_rebalance)
+
+    def _deferred_rebalance(self) -> None:
+        self._rebalance_pending = False
+        self._advance()
+        self._rebalance()
+
+    def _retire(self, flow: Flow) -> None:
+        self._active.discard(flow)
+        for res in flow.weights:
+            res.flows.discard(flow)
+        self.completed_flows += 1
+
+    def _advance(self) -> None:
+        """Account bytes transferred since the last state change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        for flow in self._active:
+            if flow.rate > 0:
+                moved = flow.rate * dt
+                flow.remaining -= moved
+                self.completed_bytes += moved
+
+    def _rebalance(self) -> None:
+        """Recompute max-min fair rates and reschedule the next completion."""
+        finished = [f for f in self._active if f.remaining <= _EPS_BYTES]
+        for flow in finished:
+            self._retire(flow)
+        self._assign_rates(self._active)
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.event.succeed(None)
+        self._schedule_wake()
+
+    @staticmethod
+    def _assign_rates(flows: Iterable[Flow]) -> None:
+        """Weighted progressive filling over the union of traversed resources.
+
+        Incremental bookkeeping keeps each filling round O(|flows| +
+        |resources|): per-resource weight sums and member sets shrink as
+        flows freeze, instead of being recomputed from scratch.
+        """
+        unfrozen = set(flows)
+        for f in unfrozen:
+            f.rate = 0.0
+        residual: dict[Resource, float] = {}
+        wsum: dict[Resource, float] = {}
+        members: dict[Resource, set[Flow]] = {}
+        streams: dict[Resource, float] = {}
+        for f in unfrozen:
+            for r, w in f.weights.items():
+                wsum[r] = wsum.get(r, 0.0) + w
+                streams[r] = streams.get(r, 0.0) + f.streams_on(r)
+                try:
+                    members[r].add(f)
+                except KeyError:
+                    members[r] = {f}
+        for r, n in streams.items():
+            residual[r] = r.effective_capacity(int(round(n)))
+
+        def freeze(f: Flow) -> None:
+            for r, w in f.weights.items():
+                wsum[r] -= w
+                members[r].discard(f)
+
+        # All unfrozen flows carry the same uniform rate, so flows freeze on
+        # their demand caps in ascending-demand order: a sorted sweep frees
+        # whole batches per filling round instead of one flow at a time.
+        by_demand = sorted(unfrozen, key=lambda f: f.demand)
+        demand_ptr = 0
+        rate = 0.0  # the uniform rate every unfrozen flow has received
+        while unfrozen:
+            # Largest uniform rate increment every unfrozen flow can take.
+            while demand_ptr < len(by_demand) and by_demand[demand_ptr] not in unfrozen:
+                demand_ptr += 1
+            inc = (by_demand[demand_ptr].demand - rate
+                   if demand_ptr < len(by_demand) else float("inf"))
+            bottleneck: Optional[Resource] = None
+            for r, cap_left in residual.items():
+                ws = wsum[r]
+                if ws <= 1e-12:
+                    continue
+                r_inc = cap_left / ws
+                if r_inc < inc:
+                    inc = r_inc
+                    bottleneck = r
+            if inc < 0:
+                inc = 0.0
+            rate += inc
+            for r in residual:
+                residual[r] -= inc * wsum[r]
+            frozen: set[Flow] = set()
+            # Demand-capped flows: ascending sweep from the pointer.
+            while demand_ptr < len(by_demand):
+                f = by_demand[demand_ptr]
+                if f not in unfrozen:
+                    demand_ptr += 1
+                    continue
+                if f.demand - rate > _EPS_RATE:
+                    break
+                frozen.add(f)
+                demand_ptr += 1
+            # Flows on saturated resources.
+            if bottleneck is not None and \
+                    residual[bottleneck] <= _EPS_RATE * max(1.0, bottleneck.capacity / 1e9):
+                frozen |= members[bottleneck]
+            for r, cap_left in residual.items():
+                if r is not bottleneck and wsum[r] > 1e-12 and \
+                        cap_left <= _EPS_RATE * max(1.0, r.capacity / 1e9):
+                    frozen |= members[r]
+            if not frozen:
+                if bottleneck is None:
+                    break  # all demand-capped; loop would have frozen them
+                frozen = set(members[bottleneck])
+            for f in frozen:
+                f.rate = rate
+                freeze(f)
+            unfrozen -= frozen
+        for f in unfrozen:  # pragma: no cover - loop always drains
+            f.rate = rate
+
+    def _schedule_wake(self) -> None:
+        self._wake_generation += 1
+        if not self._active:
+            return
+        horizon = min(
+            (f.remaining / f.rate for f in self._active if f.rate > 0), default=None
+        )
+        if horizon is None:
+            raise SimulationError(
+                "flow network stalled: active flows but no positive rates"
+            )
+        # Keep the wake strictly after `now` in float arithmetic: a horizon
+        # below one ulp of the clock would freeze time (Zeno loop).
+        min_dt = max(abs(self.sim.now) * 1e-14, 1e-15)
+        gen = self._wake_generation
+        self.sim.schedule(max(horizon, min_dt), lambda: self._on_wake(gen))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a later arrival/departure
+        self._advance()
+        self._rebalance()

@@ -1,0 +1,252 @@
+"""The paper's four evaluation platforms (Section VI-A) plus generic builders.
+
+Bandwidth and latency values are era-plausible calibrations for the 2007-2010
+parts the paper names; the published hardware descriptions pin the *shape*
+(core counts, socket/board layout, cache sizes and sharing, which links
+exist), while the sustained-bandwidth numbers are taken from contemporary
+STREAM/memcpy measurements of the same processor generations:
+
+- Zoot    — 4s x 4c Intel Tigerton E7340 (2.40 GHz), SMP front-side bus:
+            one north-bridge memory controller shared by 16 cores, 4 MB L2
+            shared per core pair.  FSB-era sustained copy ~2.5 GB/s/core,
+            ~10 GB/s aggregate controller throughput.
+- Dancer  — 2s x 4c Intel Nehalem-EP E5520 (2.27 GHz), 2 NUMA domains,
+            8 MB L3 per socket, QPI between sockets.
+- Saturn  — 2s x 8c Intel Nehalem-EX X7550 (2.00 GHz), 2 NUMA domains,
+            18 MB L3 per socket, wider QPI.
+- IG      — 8s x 6c AMD Opteron 8439 SE (2.8 GHz), 8 NUMA domains on two
+            boards (4+4), 5 MB L3 per socket, HyperTransport mesh within a
+            board and a low-performance inter-board interlink (the paper
+            notes the two-board split explicitly).
+
+Absolute microseconds are not the reproduction target (see DESIGN.md §2);
+who-wins/crossover shapes are.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import CacheSpec, CoreSpec, LinkSpec, MachineSpec
+from repro.units import GiB, MiB, gbps
+
+__all__ = [
+    "zoot",
+    "dancer",
+    "saturn",
+    "ig",
+    "smp_machine",
+    "numa_machine",
+    "get_machine",
+    "MACHINES",
+]
+
+
+def zoot() -> MachineSpec:
+    """16-core SMP: 4 sockets x quad-core Tigerton, one memory controller."""
+    return MachineSpec(
+        name="zoot",
+        cores_per_socket=4,
+        socket_domain=(0, 0, 0, 0),
+        socket_board=(0, 0, 0, 0),
+        domain_mem_bandwidth=(gbps(10.0),),
+        domain_mem_bytes=(32 * GiB,),
+        core=CoreSpec(
+            freq_ghz=2.40,
+            copy_bandwidth=gbps(2.5),
+            cached_copy_bandwidth=gbps(6.5),
+            elem_op_time=9.07e-9,
+        ),
+        caches=(
+            CacheSpec(level=2, size=4 * MiB, scope="pair", bandwidth=gbps(6.5)),
+        ),
+        links=(),
+        mem_latency=110e-9,
+        dirty_intervention_efficiency=0.1,  # FSB HITM: bus-speed interventions
+        description="4-socket quad-core Intel Xeon Tigerton E7340, SMP north-bridge",
+    )
+
+
+def dancer() -> MachineSpec:
+    """8-core dual-socket Nehalem-EP with two NUMA domains over QPI."""
+    return MachineSpec(
+        name="dancer",
+        cores_per_socket=4,
+        socket_domain=(0, 1),
+        socket_board=(0, 0),
+        domain_mem_bandwidth=(gbps(15.0), gbps(15.0)),
+        domain_mem_bytes=(2 * GiB, 2 * GiB),
+        core=CoreSpec(
+            freq_ghz=2.27,
+            copy_bandwidth=gbps(5.0),
+            cached_copy_bandwidth=gbps(11.0),
+        ),
+        caches=(
+            CacheSpec(level=3, size=8 * MiB, scope="socket", bandwidth=gbps(11.0)),
+        ),
+        links=(LinkSpec(0, 1, bandwidth=gbps(10.5), latency=120e-9),),
+        mem_latency=75e-9,
+        dirty_intervention_efficiency=0.9,  # inclusive on-die L3
+        description="2-socket quad-core Intel Xeon Nehalem-EP E5520",
+    )
+
+
+def saturn() -> MachineSpec:
+    """16-core dual-socket Nehalem-EX with two NUMA domains."""
+    return MachineSpec(
+        name="saturn",
+        cores_per_socket=8,
+        socket_domain=(0, 1),
+        socket_board=(0, 0),
+        domain_mem_bandwidth=(gbps(20.0), gbps(20.0)),
+        domain_mem_bytes=(32 * GiB, 32 * GiB),
+        core=CoreSpec(
+            freq_ghz=2.00,
+            copy_bandwidth=gbps(4.5),
+            cached_copy_bandwidth=gbps(10.0),
+        ),
+        caches=(
+            CacheSpec(level=3, size=18 * MiB, scope="socket", bandwidth=gbps(10.0)),
+        ),
+        links=(LinkSpec(0, 1, bandwidth=gbps(12.0), latency=130e-9),),
+        mem_latency=90e-9,
+        dirty_intervention_efficiency=0.9,  # inclusive on-die L3
+        description="2-socket octo-core Intel Xeon Nehalem-EX X7550",
+    )
+
+
+def ig() -> MachineSpec:
+    """48-core 8-socket Opteron: HT mesh per board, slow inter-board link.
+
+    Within each 4-socket board the HyperTransport fabric is modelled as a
+    full mesh of 4 GB/s links; the boards are joined by two 4 GB/s bridge
+    links (domains 0-4 and 3-7) — "low performance" in that the whole
+    24-core board shares two links' bisection, matching the paper's "two
+    sets of 4 sockets on two separate boards connected by a low performance
+    interlink".
+    """
+    intra = gbps(4.0)
+    inter = gbps(4.0)
+    links: list[LinkSpec] = []
+    for board_base in (0, 4):
+        board = range(board_base, board_base + 4)
+        for i in board:
+            for j in board:
+                if i < j:
+                    links.append(LinkSpec(i, j, bandwidth=intra, latency=120e-9))
+    links.append(LinkSpec(0, 4, bandwidth=inter, latency=400e-9))
+    links.append(LinkSpec(3, 7, bandwidth=inter, latency=400e-9))
+    return MachineSpec(
+        name="ig",
+        cores_per_socket=6,
+        socket_domain=tuple(range(8)),
+        socket_board=(0, 0, 0, 0, 1, 1, 1, 1),
+        domain_mem_bandwidth=tuple(gbps(8.0) for _ in range(8)),
+        domain_mem_bytes=tuple(16 * GiB for _ in range(8)),
+        core=CoreSpec(
+            freq_ghz=2.8,
+            copy_bandwidth=gbps(3.5),
+            cached_copy_bandwidth=gbps(7.5),
+            elem_op_time=8.0e-9,
+        ),
+        caches=(
+            CacheSpec(level=3, size=5 * MiB, scope="socket", bandwidth=gbps(7.5)),
+        ),
+        links=tuple(links),
+        mem_latency=100e-9,
+        dirty_intervention_efficiency=0.75,  # non-inclusive L3, probe filter
+        intervention_writeback=0.0,  # MOESI: Owned state, no memory writeback
+        mem_stream_alpha=0.03,  # DDR2 row-buffer thrash under many streams
+        description="8-socket six-core AMD Opteron 8439 SE on two boards",
+    )
+
+
+def smp_machine(
+    name: str = "smp",
+    n_sockets: int = 2,
+    cores_per_socket: int = 4,
+    mem_bandwidth: float = gbps(10.0),
+    core_copy_bandwidth: float = gbps(3.0),
+    llc_size: int = 8 * MiB,
+) -> MachineSpec:
+    """A generic single-memory-controller machine for tests and examples."""
+    cached = max(core_copy_bandwidth * 2.5, mem_bandwidth / 2)
+    return MachineSpec(
+        name=name,
+        cores_per_socket=cores_per_socket,
+        socket_domain=tuple(0 for _ in range(n_sockets)),
+        socket_board=tuple(0 for _ in range(n_sockets)),
+        domain_mem_bandwidth=(mem_bandwidth,),
+        domain_mem_bytes=(8 * GiB,),
+        core=CoreSpec(2.5, core_copy_bandwidth, cached),
+        caches=(CacheSpec(level=3, size=llc_size, scope="socket", bandwidth=cached),),
+        description=f"synthetic SMP ({n_sockets}s x {cores_per_socket}c)",
+    )
+
+
+def numa_machine(
+    name: str = "numa",
+    n_domains: int = 4,
+    cores_per_socket: int = 4,
+    mem_bandwidth: float = gbps(10.0),
+    link_bandwidth: float = gbps(5.0),
+    core_copy_bandwidth: float = gbps(3.5),
+    llc_size: int = 6 * MiB,
+    topology: str = "mesh",
+) -> MachineSpec:
+    """A generic NUMA machine with one socket per domain.
+
+    ``topology`` selects the link graph: ``"mesh"`` (all-pairs), ``"ring"``,
+    or ``"chain"``.
+    """
+    if n_domains < 2:
+        raise HardwareConfigError("numa_machine needs at least 2 domains")
+    links: list[LinkSpec] = []
+    if topology == "mesh":
+        links = [
+            LinkSpec(i, j, bandwidth=link_bandwidth)
+            for i in range(n_domains)
+            for j in range(i + 1, n_domains)
+        ]
+    elif topology == "ring":
+        links = [
+            LinkSpec(i, (i + 1) % n_domains, bandwidth=link_bandwidth)
+            for i in range(n_domains)
+        ]
+    elif topology == "chain":
+        links = [LinkSpec(i, i + 1, bandwidth=link_bandwidth) for i in range(n_domains - 1)]
+    else:
+        raise HardwareConfigError(f"unknown topology {topology!r}")
+    cached = core_copy_bandwidth * 2.2
+    return MachineSpec(
+        name=name,
+        cores_per_socket=cores_per_socket,
+        socket_domain=tuple(range(n_domains)),
+        socket_board=tuple(0 for _ in range(n_domains)),
+        domain_mem_bandwidth=tuple(mem_bandwidth for _ in range(n_domains)),
+        domain_mem_bytes=tuple(4 * GiB for _ in range(n_domains)),
+        core=CoreSpec(2.5, core_copy_bandwidth, cached),
+        caches=(CacheSpec(level=3, size=llc_size, scope="socket", bandwidth=cached),),
+        links=tuple(links),
+        description=f"synthetic NUMA ({n_domains} domains, {topology})",
+    )
+
+
+#: Registry of the paper's platforms, keyed by the names used in Section VI.
+MACHINES: dict[str, Callable[[], MachineSpec]] = {
+    "zoot": zoot,
+    "dancer": dancer,
+    "saturn": saturn,
+    "ig": ig,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Build one of the paper's machines by (case-insensitive) name."""
+    try:
+        return MACHINES[name.lower()]()
+    except KeyError:
+        raise HardwareConfigError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""Simulated operating-system services.
+
+- :mod:`repro.kernel.costs` — syscall / page-pinning cost model (the paper
+  quotes ~100 ns to trap into the kernel, Section V-A);
+- :mod:`repro.kernel.shm` — System-V-style shared memory: mailboxes for
+  small out-of-band messages and FIFO segments for copy-in/copy-out;
+- :mod:`repro.kernel.knem` — the KNEM driver: persistent region
+  registration with cookies, direction control (read/write), partial-region
+  copies, asynchronous copies, and I/OAT DMA offload (Section III).
+"""
+
+from repro.kernel.costs import KernelCosts
+from repro.kernel.knem import KnemDriver, KnemRegion, PROT_READ, PROT_WRITE
+from repro.kernel.shm import Mailbox, ShmWorld, mailbox_latency
+
+__all__ = [
+    "KernelCosts",
+    "KnemDriver",
+    "KnemRegion",
+    "PROT_READ",
+    "PROT_WRITE",
+    "ShmWorld",
+    "Mailbox",
+    "mailbox_latency",
+]

@@ -1,0 +1,67 @@
+"""Kernel cost model.
+
+The paper's Section V-A motivates the 16 KB switch-point with the overhead
+of trapping into kernel mode ("about 100 ns on modern processors"); region
+registration additionally pins user pages.  These constants are the knobs
+the KNEM driver and the shared-memory layer charge before any bytes move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.units import NS, US
+
+__all__ = ["KernelCosts", "PAGE_SIZE"]
+
+#: x86 base page size; KNEM pins user buffers page by page.
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Tunable kernel overheads (seconds).
+
+    ``syscall`` — one user->kernel->user round trip (ioctl).
+    ``region_base`` — fixed part of declaring a KNEM region.
+    ``page_pin`` — per-page get_user_pages cost while registering.
+    ``page_unpin`` — per-page release cost at deregistration.
+    ``copy_setup`` — per-copy kernel-side setup (descriptor walk).
+    ``dma_setup`` — extra descriptor programming for I/OAT offload.
+    ``mailbox_write`` — store+flush of a small shared-memory mailbox slot.
+    ``poll_interval`` — granularity at which blocked processes re-poll
+        shared flags (models the progression loop of the MPI library).
+    """
+
+    syscall: float = 100 * NS
+    region_base: float = 150 * NS
+    page_pin: float = 25 * NS
+    page_unpin: float = 8 * NS
+    copy_setup: float = 120 * NS
+    dma_setup: float = 1 * US
+    mailbox_write: float = 60 * NS
+    poll_interval: float = 200 * NS
+
+    def __post_init__(self) -> None:
+        for name in (
+            "syscall",
+            "region_base",
+            "page_pin",
+            "page_unpin",
+            "copy_setup",
+            "dma_setup",
+            "mailbox_write",
+            "poll_interval",
+        ):
+            if getattr(self, name) < 0:
+                raise KernelError(f"kernel cost {name} must be >= 0")
+
+    def pin_time(self, nbytes: int) -> float:
+        """Registration cost of an ``nbytes`` region (base + per-page pin)."""
+        pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        return self.region_base + pages * self.page_pin
+
+    def unpin_time(self, nbytes: int) -> float:
+        pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        return pages * self.page_unpin

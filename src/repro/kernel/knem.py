@@ -1,0 +1,213 @@
+"""The simulated KNEM driver.
+
+Mirrors the KNEM ≥ 0.7 programming interface the paper relies on
+(Section III): persistent **region** registration returning a *cookie*,
+**direction control** via region protection flags (read for
+receiver-reading, write for sender-writing), **partial access** at arbitrary
+offsets (granularity control for pipelining), **asynchronous** copies, and
+optional **I/OAT DMA offload**.
+
+Driver entry points are generators: callers ``yield from`` them inside a
+simulated process so syscall and copy time are charged to the calling core
+— the property the paper's collective algorithms exploit (the process that
+issues the ioctl is the one whose core performs the in-kernel memcpy).
+
+The security model matches Section III: any process may attempt a copy with
+any cookie; a stale/forged cookie raises :class:`KnemInvalidCookie`, a copy
+against the region's protection raises :class:`KnemPermissionError` — both
+modelled as the corresponding ioctl errors, charged one syscall.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import (
+    KnemBoundsError,
+    KnemInvalidCookie,
+    KnemPermissionError,
+)
+from repro.hardware.memory import MemorySystem, SimBuffer
+from repro.kernel.costs import KernelCosts
+from repro.simtime.core import Event, Simulator
+from repro.simtime.trace import Tracer
+
+__all__ = ["PROT_READ", "PROT_WRITE", "KnemRegion", "KnemDriver"]
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+
+#: Flag for :meth:`KnemDriver.icopy`/``copy`` requesting DMA-engine offload.
+FLAG_DMA = 0x100
+
+
+class KnemRegion:
+    """A registered (pinned) memory region addressable by cookie."""
+
+    __slots__ = ("cookie", "owner_core", "buffer", "offset", "length", "prot", "alive")
+
+    def __init__(self, cookie: int, owner_core: int, buffer: SimBuffer,
+                 offset: int, length: int, prot: int):
+        self.cookie = cookie
+        self.owner_core = owner_core
+        self.buffer = buffer
+        self.offset = offset
+        self.length = length
+        self.prot = prot
+        self.alive = True
+
+    def check(self, offset: int, nbytes: int, want_prot: int) -> None:
+        if not self.alive:
+            raise KnemInvalidCookie(f"cookie {self.cookie:#x} already destroyed")
+        if not self.prot & want_prot:
+            kind = "read" if want_prot == PROT_READ else "write"
+            raise KnemPermissionError(
+                f"region {self.cookie:#x} does not allow {kind} access"
+            )
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.length:
+            raise KnemBoundsError(
+                f"[{offset}, {offset + nbytes}) outside region of length {self.length}"
+            )
+
+
+class KnemDriver:
+    """One per machine; all processes share it like the real /dev/knem."""
+
+    def __init__(self, sim: Simulator, mem: MemorySystem,
+                 costs: Optional[KernelCosts] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.mem = mem
+        self.costs = costs or KernelCosts()
+        self.tracer = tracer or mem.tracer
+        self._regions: dict[int, KnemRegion] = {}
+        self._cookie_seq = itertools.count(0xA000)
+        # statistics the registration-amortization ablation checks
+        self.stats_registrations = 0
+        self.stats_deregistrations = 0
+        self.stats_copies = 0
+        self.stats_bytes = 0
+        self.stats_failed_ioctls = 0
+
+    # -- region lifecycle -------------------------------------------------
+    def create_region(self, core: int, buffer: SimBuffer, offset: int,
+                      length: int, prot: int):
+        """Register ``buffer[offset:offset+length]``; yields cost, returns cookie."""
+        if prot & ~(PROT_READ | PROT_WRITE) or prot == 0:
+            self.stats_failed_ioctls += 1
+            yield self.sim.timeout(self.costs.syscall)
+            raise KnemPermissionError(f"bad protection flags {prot:#x}")
+        try:
+            buffer.check_range(offset, length)
+        except Exception:
+            self.stats_failed_ioctls += 1
+            yield self.sim.timeout(self.costs.syscall)
+            raise
+        yield self.sim.timeout(self.costs.syscall + self.costs.pin_time(length))
+        cookie = next(self._cookie_seq)
+        self._regions[cookie] = KnemRegion(cookie, core, buffer, offset, length, prot)
+        self.stats_registrations += 1
+        self.tracer.emit("knem.register", core=core, cookie=cookie, length=length, prot=prot)
+        return cookie
+
+    def destroy_region(self, core: int, cookie: int):
+        """Deregister a region (generator; charges syscall + unpin)."""
+        region = self._regions.pop(cookie, None)
+        if region is None or not region.alive:
+            self.stats_failed_ioctls += 1
+            yield self.sim.timeout(self.costs.syscall)
+            raise KnemInvalidCookie(f"cookie {cookie:#x} is not a live region")
+        region.alive = False
+        self.stats_deregistrations += 1
+        yield self.sim.timeout(self.costs.syscall + self.costs.unpin_time(region.length))
+        self.tracer.emit("knem.deregister", core=core, cookie=cookie)
+
+    def region(self, cookie: int) -> KnemRegion:
+        """Kernel-internal lookup (no cost); raises on dead cookies."""
+        try:
+            return self._regions[cookie]
+        except KeyError:
+            raise KnemInvalidCookie(f"cookie {cookie:#x} is not a live region") from None
+
+    # -- copies -------------------------------------------------------------
+    def icopy(
+        self,
+        core: int,
+        cookie: int,
+        region_offset: int,
+        local: SimBuffer,
+        local_offset: int,
+        nbytes: int,
+        write: bool,
+        flags: int = 0,
+    ) -> Event:
+        """Asynchronous copy between a region and a local buffer.
+
+        ``write=False`` *reads* the region into ``local`` (receiver-reading);
+        ``write=True`` writes ``local`` into the region (sender-writing).
+        The returned event fires at completion; the syscall + setup cost is
+        **not** included (use :meth:`copy` from process context, or charge
+        ``submit_time`` yourself for overlapped submissions).
+        """
+        region = self._region_checked(cookie, region_offset, nbytes, write)
+        local.check_range(local_offset, nbytes)
+        if write:
+            src, src_off = local, local_offset
+            dst, dst_off = region.buffer, region.offset + region_offset
+        else:
+            src, src_off = region.buffer, region.offset + region_offset
+            dst, dst_off = local, local_offset
+        self.stats_copies += 1
+        self.stats_bytes += nbytes
+        self.tracer.emit(
+            "knem.copy", core=core, cookie=cookie, nbytes=nbytes,
+            write=write, dma=bool(flags & FLAG_DMA),
+        )
+        if flags & FLAG_DMA:
+            return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes, label="knem-dma")
+        return self.mem.copy(core, src, src_off, dst, dst_off, nbytes,
+                             kernel=True, label="knem")
+
+    def copy(
+        self,
+        core: int,
+        cookie: int,
+        region_offset: int,
+        local: SimBuffer,
+        local_offset: int,
+        nbytes: int,
+        write: bool,
+        flags: int = 0,
+    ):
+        """Synchronous copy (generator): syscall + setup, then the transfer."""
+        try:
+            done = self.icopy(core, cookie, region_offset, local, local_offset,
+                              nbytes, write, flags)
+        except Exception:
+            self.stats_failed_ioctls += 1
+            yield self.sim.timeout(self.costs.syscall)
+            raise
+        setup = self.costs.syscall + self.costs.copy_setup
+        if flags & FLAG_DMA:
+            setup += self.costs.dma_setup
+        yield self.sim.timeout(setup)
+        yield done
+
+    def submit_time(self, flags: int = 0) -> float:
+        """Cost of submitting an asynchronous copy from process context."""
+        t = self.costs.syscall + self.costs.copy_setup
+        if flags & FLAG_DMA:
+            t += self.costs.dma_setup
+        return t
+
+    # -- internals ------------------------------------------------------------
+    def _region_checked(self, cookie: int, offset: int, nbytes: int,
+                        write: bool) -> KnemRegion:
+        region = self.region(cookie)
+        region.check(offset, nbytes, PROT_WRITE if write else PROT_READ)
+        return region
+
+    @property
+    def live_regions(self) -> int:
+        return len(self._regions)

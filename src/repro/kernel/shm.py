@@ -1,0 +1,208 @@
+"""Shared-memory segments: mailboxes and FIFO fragment pools.
+
+Two distinct uses, matching the two roles shared memory plays in the paper:
+
+1. **Mailboxes** carry small control messages (match headers, KNEM cookies,
+   synchronization flags).  Their cost is a cache-line ping between cores —
+   a latency that grows with topological distance — not a bandwidth cost.
+   The KNEM collective component uses the SM BTL "only as an out of band
+   channel for synchronization or delivering cookies" (Section V-A).
+
+2. **FIFO segments** are the pre-allocated exchange zones of the
+   copy-in/copy-out transport (Open MPI SM BTL / MPICH2 Nemesis).  They are
+   real :class:`~repro.hardware.memory.SimBuffer` objects, so copies through
+   them consume memory bandwidth twice and pollute caches — the effect the
+   paper identifies as the core drawback of the double-copy approach.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ShmError
+from repro.hardware.memory import MemorySystem, SimBuffer
+from repro.hardware.spec import MachineSpec
+from repro.kernel.costs import KernelCosts
+from repro.simtime.core import Event, Simulator
+from repro.simtime.primitives import Channel, Semaphore
+from repro.units import NS
+
+__all__ = ["mailbox_latency", "Mailbox", "FifoSegment", "ShmWorld"]
+
+
+def mailbox_latency(spec: MachineSpec, core_a: int, core_b: int) -> float:
+    """Cache-line transfer latency between two cores.
+
+    Calibrated to era-typical core-to-core latencies: ~60 ns within a shared
+    cache, ~120 ns across sockets in one coherence domain, plus the NUMA
+    link latency when domains differ (doubled for the request/response pair
+    of a coherence miss).
+    """
+    if core_a == core_b:
+        return 20 * NS
+    sa, sb = spec.core_socket(core_a), spec.core_socket(core_b)
+    if sa == sb:
+        return 60 * NS
+    da, db = spec.core_domain(core_a), spec.core_domain(core_b)
+    if da == db:
+        return 120 * NS
+    hop = 150 * NS
+    return 120 * NS + 2 * hop * (1 + abs(spec.socket_board[sa] - spec.socket_board[sb]))
+
+
+class Mailbox:
+    """A small-message channel into one process (control traffic only).
+
+    ``post`` charges the sender the store cost and delivers the payload
+    after the core-to-core latency; ``recv`` blocks the receiver until a
+    message is available (the poll granularity models the MPI progression
+    loop's busy-wait).
+    """
+
+    def __init__(self, sim: Simulator, spec: MachineSpec, owner_core: int,
+                 costs: KernelCosts, name: str = "mbox"):
+        self.sim = sim
+        self.spec = spec
+        self.owner_core = owner_core
+        self.costs = costs
+        self.name = name
+        self._channel = Channel(sim, name=name)
+        self.posted = 0
+
+    def post(self, sender_core: int, payload: Any):
+        """Sender-side deposit; generator (``yield from``), returns None."""
+        self.posted += 1
+        yield self.sim.timeout(self.costs.mailbox_write)
+        delay = mailbox_latency(self.spec, sender_core, self.owner_core)
+        self.sim.schedule(delay, lambda: self._channel.put(payload))
+
+    def post_nowait(self, sender_core: int, payload: Any) -> None:
+        """Fire-and-forget variant for completion callbacks (no sender cost)."""
+        self.posted += 1
+        delay = self.costs.mailbox_write + mailbox_latency(
+            self.spec, sender_core, self.owner_core
+        )
+        self.sim.schedule(delay, lambda: self._channel.put(payload))
+
+    def recv(self) -> Event:
+        """Event yielding the next payload (FIFO order)."""
+        return self._channel.get()
+
+    def __len__(self) -> int:
+        return len(self._channel)
+
+
+class FifoSegment:
+    """A ring of fixed-size fragments shared by one sender-receiver pair.
+
+    The segment's backing buffer is homed on the **receiver's** memory
+    domain (Open MPI's SM BTL maps per-receiver FIFOs, first-touched by the
+    receiver).  Slot bookkeeping is a semaphore: the sender acquires a free
+    slot, copies a fragment in, and hands the slot index to the receiver's
+    mailbox; the receiver copies out and releases the slot.
+    """
+
+    def __init__(
+        self,
+        mem: MemorySystem,
+        spec: MachineSpec,
+        costs: KernelCosts,
+        sender_core: int,
+        receiver_core: int,
+        fragment_size: int,
+        n_slots: int,
+        name: str = "fifo",
+    ):
+        if fragment_size <= 0 or n_slots <= 0:
+            raise ShmError("fragment size and slot count must be positive")
+        self.mem = mem
+        self.spec = spec
+        self.costs = costs
+        self.sender_core = sender_core
+        self.receiver_core = receiver_core
+        self.fragment_size = fragment_size
+        self.n_slots = n_slots
+        domain = spec.core_domain(receiver_core)
+        self.buffer: SimBuffer = mem.alloc(
+            fragment_size * n_slots, domain, label=name, backed=True
+        )
+        self.free_slots = Channel(mem.sim, name=f"{name}:free")
+        for slot in range(n_slots):
+            self.free_slots.put(slot)
+        self.full_queue = Channel(mem.sim, name=f"{name}:full")
+        #: serializes messages through this FIFO (fragments of interleaved
+        #: messages would be indistinguishable in the slot stream)
+        self.tx_lock = Semaphore(mem.sim, 1, name=f"{name}:tx")
+
+    def slot_offset(self, slot: int) -> int:
+        if not 0 <= slot < self.n_slots:
+            raise ShmError(f"slot {slot} out of range")
+        return slot * self.fragment_size
+
+    def acquire_slot(self) -> Event:
+        """Sender side: event yielding the index of a free fragment slot."""
+        return self.free_slots.get()
+
+    def publish(self, slot: int, nbytes: int, meta: Any = None) -> None:
+        """Sender side: make a filled slot visible to the receiver."""
+        delay = self.costs.mailbox_write + mailbox_latency(
+            self.spec, self.sender_core, self.receiver_core
+        )
+        self.mem.sim.schedule(delay, lambda: self.full_queue.put((slot, nbytes, meta)))
+
+    def next_full(self) -> Event:
+        """Receiver side: event yielding ``(slot, nbytes, meta)``."""
+        return self.full_queue.get()
+
+    def release_slot(self, slot: int) -> None:
+        """Receiver side: return a drained slot to the sender."""
+        if not 0 <= slot < self.n_slots:
+            raise ShmError(f"slot {slot} out of range")
+        self.free_slots.put(slot)
+
+
+class ShmWorld:
+    """Factory/registry for mailboxes and per-pair FIFOs on one machine."""
+
+    def __init__(self, sim: Simulator, spec: MachineSpec, mem: MemorySystem,
+                 costs: Optional[KernelCosts] = None):
+        self.sim = sim
+        self.spec = spec
+        self.mem = mem
+        self.costs = costs or KernelCosts()
+        self._mailboxes: dict[Any, Mailbox] = {}
+        self._fifos: dict[tuple[int, int], FifoSegment] = {}
+
+    def mailbox(self, key: Any, owner_core: int) -> Mailbox:
+        """Get-or-create the mailbox named ``key`` owned by ``owner_core``."""
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Mailbox(self.sim, self.spec, owner_core, self.costs, name=f"mbox:{key}")
+            self._mailboxes[key] = box
+        elif box.owner_core != owner_core:
+            raise ShmError(f"mailbox {key!r} already owned by core {box.owner_core}")
+        return box
+
+    def fifo(
+        self,
+        sender_core: int,
+        receiver_core: int,
+        fragment_size: int = 32 * 1024,
+        n_slots: int = 4,
+    ) -> FifoSegment:
+        """Get-or-create the FIFO from one core to another (lazy, per pair)."""
+        key = (sender_core, receiver_core)
+        seg = self._fifos.get(key)
+        if seg is None:
+            seg = FifoSegment(
+                self.mem,
+                self.spec,
+                self.costs,
+                sender_core,
+                receiver_core,
+                fragment_size,
+                n_slots,
+                name=f"fifo[{sender_core}->{receiver_core}]",
+            )
+            self._fifos[key] = seg
+        return seg

@@ -1,0 +1,61 @@
+"""MPI-like runtime on the simulated machine.
+
+This package provides the message-passing substrate the collective
+components (``repro.coll``) are built on, mirroring the layering of Open MPI
+that the paper describes in Figure 2:
+
+- :mod:`repro.mpi.pml` — point-to-point messaging (eager / shared-memory
+  rendezvous / KNEM rendezvous protocols) with MPI matching semantics;
+- :mod:`repro.mpi.communicator` — :class:`Comm` (rank/size/split, p2p API,
+  collective dispatch to the active component);
+- :mod:`repro.mpi.runtime` — :class:`Machine` assembly and the :class:`Job`
+  launcher that runs one simulated process per rank;
+- :mod:`repro.mpi.stacks` — the five library configurations compared in the
+  paper's evaluation (Tuned-SM, Tuned-KNEM, MPICH2-SM, MPICH2-KNEM,
+  KNEM-Coll).
+
+Typical use::
+
+    from repro import Machine, Job, stacks
+
+    machine = Machine.build("dancer")
+    job = Job(machine, nprocs=8, stack=stacks.KNEM_COLL)
+
+    def program(proc):
+        buf = proc.alloc_array(1 << 20, dtype="u1")
+        yield from proc.comm.bcast(buf.sim, 0, buf.sim.size, root=0)
+
+    result = job.run(program)
+"""
+
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Comm
+from repro.mpi.runtime import Job, JobResult, Machine, Proc
+from repro.mpi.stacks import (
+    ALL_STACKS,
+    KNEM_COLL,
+    MPICH2_KNEM,
+    MPICH2_SM,
+    TUNED_KNEM,
+    TUNED_SM,
+    Stack,
+)
+from repro.mpi.status import Request, Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "Machine",
+    "Job",
+    "JobResult",
+    "Proc",
+    "Status",
+    "Request",
+    "Stack",
+    "TUNED_SM",
+    "TUNED_KNEM",
+    "MPICH2_SM",
+    "MPICH2_KNEM",
+    "KNEM_COLL",
+    "ALL_STACKS",
+]

@@ -1,0 +1,89 @@
+"""MPI message matching: posted-receive and unexpected-message queues.
+
+Semantics follow the MPI standard:
+
+- a posted receive names ``(source, tag)``, either of which may be the
+  wildcard (:data:`ANY_SOURCE` / :data:`ANY_TAG`);
+- an arriving envelope matches the **oldest** posted receive it satisfies;
+- a receive posted later matches the **oldest** unexpected envelope it
+  satisfies;
+- per (sender, communicator), envelopes arrive in send order, so the pair
+  of FIFO scans above yields MPI's non-overtaking guarantee.
+
+One :class:`MatchEngine` exists per (process, communicator).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.mpi.envelope import Envelope
+from repro.mpi.status import Request
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "PostedRecv", "MatchEngine"]
+
+ANY_SOURCE = -1
+ANY_TAG: Any = object()  # sentinel; never equal to a user tag
+
+
+class PostedRecv:
+    """A receive waiting for its envelope."""
+
+    __slots__ = ("source", "tag", "buf", "offset", "nbytes", "request", "want_object")
+
+    def __init__(self, source: int, tag: Any, buf, offset: int, nbytes: int,
+                 request: Request, want_object: bool = False):
+        self.source = source
+        self.tag = tag
+        self.buf = buf
+        self.offset = offset
+        self.nbytes = nbytes
+        self.request = request
+        self.want_object = want_object
+
+    def accepts(self, env: Envelope) -> bool:
+        return env.matches(self.source, self.tag, ANY_SOURCE, ANY_TAG)
+
+
+class MatchEngine:
+    """Queues + matching for one communicator on one process."""
+
+    def __init__(self) -> None:
+        self._posted: Deque[PostedRecv] = deque()
+        self._unexpected: Deque[Envelope] = deque()
+        self.matched = 0
+
+    # -- arrival path -------------------------------------------------------
+    def incoming(self, env: Envelope) -> Optional[PostedRecv]:
+        """Match an arriving envelope; queues it as unexpected otherwise."""
+        for i, recv in enumerate(self._posted):
+            if recv.accepts(env):
+                del self._posted[i]
+                self.matched += 1
+                return recv
+        self._unexpected.append(env)
+        return None
+
+    # -- post path -------------------------------------------------------------
+    def post(self, recv: PostedRecv) -> Optional[Envelope]:
+        """Post a receive; returns the unexpected envelope it matches, if any."""
+        for i, env in enumerate(self._unexpected):
+            if recv.accepts(env):
+                del self._unexpected[i]
+                self.matched += 1
+                return env
+        self._posted.append(recv)
+        return None
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)
+
+    def idle(self) -> bool:
+        return not self._posted and not self._unexpected

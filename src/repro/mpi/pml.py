@@ -1,0 +1,343 @@
+"""Point-to-point messaging layer (PML).
+
+Protocol selection per message, mirroring the transports the paper compares:
+
+========================  =====================================================
+size / kind               protocol
+========================  =====================================================
+object or <= inline       **inline eager** — payload rides in the envelope
+                          (a cache-line write into the peer's mailbox);
+<= eager_limit            **eager** — sender copies into a shared temp buffer
+                          homed on the receiver's domain, receiver copies out
+                          on match (the classic double copy);
+>  eager_limit, SM BTL    **SM rendezvous** — pipelined double copy through
+                          the per-pair FIFO (fragment-sized slots, slot
+                          backpressure, sender+receiver overlap);
+>= knem_threshold and     **KNEM rendezvous** — sender registers the buffer,
+   the stack has the          passes the cookie out-of-band, the *receiver*
+   SM/KNEM BTL                performs one in-kernel copy, FIN, deregister.
+========================  =====================================================
+
+Note the KNEM point-to-point protocol registers the send buffer *per
+message* — sending the same buffer to N peers costs N registrations and N
+cookie exchanges.  That is precisely the overhead the paper's collective
+component eliminates with persistent regions (Section III-A), and our
+KNEM-Coll bypasses this layer for data movement exactly like the real one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import MpiError, TruncationError
+from repro.hardware.memory import SimBuffer
+from repro.kernel.knem import PROT_READ
+from repro.mpi.envelope import EAGER, FIN, RTS_KNEM, RTS_SM, Envelope, make_fin
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG, MatchEngine, PostedRecv
+from repro.mpi.status import Request, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import Proc, World
+
+__all__ = ["PmlEndpoint"]
+
+_NO_OBJECT = object()
+
+#: Nominal wire size charged for an object-mode (control) message.
+OBJECT_NBYTES = 8
+
+
+class PmlEndpoint:
+    """One per process: owns the mailbox, matching state, and progress loop."""
+
+    def __init__(self, proc: "Proc", world: "World"):
+        self.proc = proc
+        self.world = world
+        self.machine = world.machine
+        self.sim = world.machine.sim
+        self.stack = world.stack
+        self.mailbox = world.machine.shm.mailbox(("pml", proc.rank), proc.core)
+        self.engines: dict[int, MatchEngine] = {}
+        self._fin_waiters: dict[int, Any] = {}
+        # Per-destination injection ordering: MPI forbids messages between
+        # one (sender, receiver, communicator) pair from overtaking, but
+        # concurrent isend protocol engines could otherwise post envelopes
+        # out of program order (e.g. a small segment finishing registration
+        # before a large one).  Tickets are taken synchronously in program
+        # order and chained.
+        self._send_order: dict[int, Any] = {}
+        # A single-threaded MPI process performs one memcpy/ioctl at a time:
+        # concurrent protocol engines (isends, matched deliveries) interleave
+        # their copies on this per-process CPU lock rather than running as
+        # genuinely parallel streams.
+        from repro.simtime.primitives import Semaphore
+
+        self.cpu = Semaphore(world.machine.sim, 1, name=f"cpu[{proc.rank}]")
+        self.sent_messages = 0
+        self.received_messages = 0
+        self.sim.process(self._progress(), name=f"pml[{proc.rank}]", daemon=True)
+
+    def _cpu_copy(self, event_factory):
+        """Run one copy (given as a zero-arg factory returning the completion
+        event) while holding this process's CPU."""
+        yield self.cpu.acquire()
+        try:
+            yield event_factory()
+        finally:
+            self.cpu.release()
+
+    def _take_ticket(self, dest_world: int):
+        prev = self._send_order.get(dest_world)
+        mine = self.sim.event(name=f"sendorder[{self.proc.rank}->{dest_world}]")
+        self._send_order[dest_world] = mine
+        return prev, mine
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        cid: int,
+        src_rank: int,
+        dest_world: int,
+        tag: Any,
+        buf: Optional[SimBuffer] = None,
+        offset: int = 0,
+        nbytes: int = 0,
+        obj: Any = _NO_OBJECT,
+    ):
+        """Build the send protocol generator.
+
+        The per-destination ordering ticket is taken *here*, synchronously,
+        so calls made in program order inject envelopes in program order
+        even when the protocols themselves run concurrently (isend).
+        """
+        ticket = self._take_ticket(dest_world)
+        return self._send_impl(ticket, cid, src_rank, dest_world, tag, buf,
+                               offset, nbytes, obj)
+
+    def _send_impl(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
+                   nbytes, obj):
+        """Blocking send (generator).  Object mode when ``obj`` is given."""
+        self.sent_messages += 1
+        if obj is not _NO_OBJECT:
+            yield self.sim.timeout(self.stack.sw_send_eager)
+            yield from self._send_inline(ticket, cid, src_rank, dest_world,
+                                         tag, OBJECT_NBYTES, obj,
+                                         is_object=True)
+            return
+        if buf is None:
+            raise MpiError("buffer send requires a SimBuffer")
+        buf.check_range(offset, nbytes)
+        if nbytes <= self.stack.eager_limit:
+            yield self.sim.timeout(self.stack.sw_send_eager)
+        else:
+            yield self.sim.timeout(self.stack.sw_send_rndv)
+        if nbytes <= self.stack.inline_limit:
+            payload = None
+            if buf.backed:
+                payload = bytes(buf.data[offset: offset + nbytes])
+            yield from self._send_inline(ticket, cid, src_rank, dest_world,
+                                         tag, nbytes, payload, is_object=False)
+        elif nbytes <= self.stack.eager_limit:
+            yield from self._send_eager(ticket, cid, src_rank, dest_world,
+                                        tag, buf, offset, nbytes)
+        elif self.stack.use_knem_btl and nbytes >= self.stack.knem_threshold:
+            yield from self._send_knem(ticket, cid, src_rank, dest_world,
+                                       tag, buf, offset, nbytes)
+        else:
+            yield from self._send_sm(ticket, cid, src_rank, dest_world, tag,
+                                     buf, offset, nbytes)
+
+    def _post_ordered(self, ticket, peer: "PmlEndpoint", env: Envelope):
+        """Post the envelope once every earlier send to this peer posted."""
+        prev, mine = ticket
+        if prev is not None and not prev.processed:
+            yield prev
+        yield from peer.mailbox.post(self.proc.core, env)
+        mine.succeed(None)
+
+    def _send_inline(self, ticket, cid, src_rank, dest_world, tag, nbytes,
+                     payload, is_object):
+        env = Envelope(kind=EAGER, cid=cid, src=src_rank, tag=tag,
+                       nbytes=nbytes, payload=payload, reply_to=self.proc.rank,
+                       is_object=is_object)
+        peer = self.world.endpoint(dest_world)
+        yield from self._post_ordered(ticket, peer, env)
+
+    def _send_eager(self, ticket, cid, src_rank, dest_world, tag, buf,
+                    offset, nbytes):
+        peer = self.world.endpoint(dest_world)
+        temp = self.machine.mem.alloc(
+            nbytes,
+            self.machine.spec.core_domain(peer.proc.core),
+            label=f"eager[{self.proc.rank}->{dest_world}]",
+            backed=buf.backed,
+        )
+        yield from self._cpu_copy(lambda: self.machine.mem.copy(
+            self.proc.core, buf, offset, temp, 0, nbytes, label="eager-in"))
+        env = Envelope(kind=EAGER, cid=cid, src=src_rank, tag=tag,
+                       nbytes=nbytes, carrier=temp, reply_to=self.proc.rank)
+        yield from self._post_ordered(ticket, peer, env)
+
+    def _send_sm(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
+                 nbytes):
+        peer = self.world.endpoint(dest_world)
+        fifo = self.machine.shm.fifo(
+            self.proc.core, peer.proc.core,
+            fragment_size=self.stack.fifo_fragment,
+            n_slots=self.stack.fifo_slots,
+        )
+        # One message at a time per pair: fragments of interleaved messages
+        # would be indistinguishable in the slot stream.
+        yield fifo.tx_lock.acquire()
+        try:
+            env = Envelope(kind=RTS_SM, cid=cid, src=src_rank, tag=tag,
+                           nbytes=nbytes, carrier=fifo, reply_to=self.proc.rank)
+            fin = self.sim.event(name=f"fin:{env.seq}")
+            self._fin_waiters[env.seq] = fin
+            yield from self._post_ordered(ticket, peer, env)
+            done = 0
+            while done < nbytes:
+                frag = min(self.stack.fifo_fragment, nbytes - done)
+                slot = yield fifo.acquire_slot()
+                yield from self._cpu_copy(lambda done=done, slot=slot, frag=frag:
+                                          self.machine.mem.copy(
+                    self.proc.core, buf, offset + done,
+                    fifo.buffer, fifo.slot_offset(slot), frag, label="fifo-in",
+                ))
+                fifo.publish(slot, frag)
+                done += frag
+            # Completion when the receiver drained the last fragment, so the
+            # FIFO is reusable by the next sender immediately afterwards.
+            yield fin
+        finally:
+            fifo.tx_lock.release()
+
+    def _send_knem(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
+                   nbytes):
+        knem = self.machine.knem
+        cookie = yield from knem.create_region(self.proc.core, buf, offset,
+                                               nbytes, PROT_READ)
+        env = Envelope(kind=RTS_KNEM, cid=cid, src=src_rank, tag=tag,
+                       nbytes=nbytes, payload=cookie, reply_to=self.proc.rank)
+        fin = self.sim.event(name=f"fin:{env.seq}")
+        self._fin_waiters[env.seq] = fin
+        peer = self.world.endpoint(dest_world)
+        yield from self._post_ordered(ticket, peer, env)
+        yield fin
+        yield from knem.destroy_region(self.proc.core, cookie)
+
+    # ------------------------------------------------------------------ recv
+    def recv(
+        self,
+        cid: int,
+        source: int,
+        tag: Any,
+        buf: Optional[SimBuffer] = None,
+        offset: int = 0,
+        nbytes: int = 0,
+        want_object: bool = False,
+    ):
+        """Blocking receive (generator); returns :class:`Status`."""
+        req = self.post_recv(cid, source, tag, buf, offset, nbytes, want_object)
+        status = yield req.event
+        return status
+
+    def post_recv(self, cid, source, tag, buf=None, offset=0, nbytes=0,
+                  want_object=False) -> Request:
+        """Non-blocking receive post; returns the request."""
+        req = Request(self.sim, "recv")
+        posted = PostedRecv(source, tag, buf, offset, nbytes, req, want_object)
+        engine = self.engines.setdefault(cid, MatchEngine())
+        env = engine.post(posted)
+        if env is not None:
+            self.sim.process(self._deliver(env, posted),
+                             name=f"deliver[{self.proc.rank}]")
+        return req
+
+    def isend(self, cid, src_rank, dest_world, tag, buf=None, offset=0,
+              nbytes=0, obj: Any = _NO_OBJECT) -> Request:
+        """Non-blocking send: runs the send protocol as a child process."""
+        req = Request(self.sim, "send")
+        proc = self.sim.process(
+            self.send(cid, src_rank, dest_world, tag, buf, offset, nbytes, obj),
+            name=f"isend[{self.proc.rank}->{dest_world}]",
+        )
+        proc.add_callback(lambda ev: req._finish(None) if ev.ok else req.event.fail(ev.value))
+        return req
+
+    # ---------------------------------------------------------------- engine
+    def _progress(self):
+        """The progress daemon: routes envelopes arriving in the mailbox."""
+        while True:
+            env: Envelope = yield self.mailbox.recv()
+            if env.kind == FIN:
+                waiter = self._fin_waiters.pop(env.payload, None)
+                if waiter is None:
+                    raise MpiError(f"unmatched FIN for send seq {env.payload}")
+                waiter.succeed(None)
+                continue
+            engine = self.engines.setdefault(env.cid, MatchEngine())
+            posted = engine.incoming(env)
+            if posted is not None:
+                self.sim.process(self._deliver(env, posted),
+                                 name=f"deliver[{self.proc.rank}]")
+
+    def _deliver(self, env: Envelope, posted: PostedRecv):
+        """Receiver-side data movement for one matched message."""
+        self.received_messages += 1
+        if not env.is_object and posted.buf is not None and env.nbytes > posted.nbytes:
+            exc = TruncationError(
+                f"rank {self.proc.rank}: incoming {env.nbytes}B message "
+                f"(src={env.src}, tag={env.tag!r}) exceeds posted {posted.nbytes}B"
+            )
+            posted.request.event.fail(exc)
+            return
+        status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes,
+                        payload=env.payload if env.is_object else None)
+        yield self.sim.timeout(self.stack.sw_recv_eager if env.kind == EAGER
+                               else self.stack.sw_recv_rndv)
+        if env.kind == EAGER:
+            if env.is_object:
+                pass  # control message: payload delivered via status
+            elif env.carrier is None:
+                if posted.buf is not None and posted.buf.backed and env.payload is not None:
+                    posted.buf.data[posted.offset: posted.offset + env.nbytes] = \
+                        np.frombuffer(env.payload, dtype=np.uint8)
+            else:
+                yield from self._cpu_copy(lambda: self.machine.mem.copy(
+                    self.proc.core, env.carrier, 0, posted.buf, posted.offset,
+                    env.nbytes, label="eager-out",
+                ))
+        elif env.kind == RTS_SM:
+            fifo = env.carrier
+            done = 0
+            while done < env.nbytes:
+                slot, frag, _meta = yield fifo.next_full()
+                yield from self._cpu_copy(lambda done=done, slot=slot, frag=frag:
+                                          self.machine.mem.copy(
+                    self.proc.core, fifo.buffer, fifo.slot_offset(slot),
+                    posted.buf, posted.offset + done, frag, label="fifo-out",
+                ))
+                fifo.release_slot(slot)
+                done += frag
+            self._send_fin(env)
+        elif env.kind == RTS_KNEM:
+            yield self.cpu.acquire()
+            try:
+                yield from self.machine.knem.copy(
+                    self.proc.core, env.payload, 0, posted.buf, posted.offset,
+                    env.nbytes, write=False,
+                )
+            finally:
+                self.cpu.release()
+            self._send_fin(env)
+        else:  # pragma: no cover - defensive
+            raise MpiError(f"unknown envelope kind {env.kind!r}")
+        posted.request._finish(status)
+
+    def _send_fin(self, env: Envelope) -> None:
+        fin = make_fin(env.cid, env.src, env.seq)
+        sender = self.world.endpoint(env.reply_to)
+        sender.mailbox.post_nowait(self.proc.core, fin)

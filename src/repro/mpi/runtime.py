@@ -1,0 +1,247 @@
+"""Machine assembly and the job launcher.
+
+- :class:`Machine` wires a simulator, memory system, cache model, shared
+  memory world, KNEM driver, topology tree, and distance matrix together.
+- :class:`Job` launches one simulated MPI process per rank (bound to cores
+  per the binding policy), runs a program generator on each, and reports
+  per-rank results and timings.
+
+A program is a function ``program(proc, *args)`` returning a generator::
+
+    def program(proc):
+        buf = proc.alloc_array(count, dtype="u4")
+        buf.array[:] = proc.rank
+        yield from proc.comm.allgather(out.sim, buf.sim, count * 4)
+        return proc.now
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.hardware.machines import get_machine
+from repro.hardware.memory import MemorySystem, SimBuffer
+from repro.hardware.spec import MachineSpec
+from repro.kernel.costs import KernelCosts
+from repro.kernel.knem import KnemDriver
+from repro.kernel.shm import ShmWorld
+from repro.mpi.communicator import Comm, CommShared
+from repro.mpi.pml import PmlEndpoint
+from repro.mpi.stacks import Stack, TUNED_SM
+from repro.simtime.core import Simulator
+from repro.simtime.trace import Tracer
+from repro.topology.binding import bind_ranks
+from repro.topology.distance import DistanceMatrix
+from repro.topology.objects import Topology
+
+__all__ = ["Machine", "Proc", "World", "Job", "JobResult", "ArrayBuffer"]
+
+
+class Machine:
+    """A fully assembled simulated machine (hardware + kernel services)."""
+
+    def __init__(self, spec: MachineSpec, costs: Optional[KernelCosts] = None,
+                 trace: bool = False):
+        self.spec = spec
+        self.sim = Simulator()
+        self.tracer = Tracer(clock=lambda: self.sim.now, enabled=trace)
+        self.mem = MemorySystem(self.sim, spec, tracer=self.tracer)
+        self.costs = costs or KernelCosts()
+        self.shm = ShmWorld(self.sim, spec, self.mem, costs=self.costs)
+        self.knem = KnemDriver(self.sim, self.mem, costs=self.costs,
+                               tracer=self.tracer)
+        self.topology = Topology(spec)
+        self.distances = DistanceMatrix(self.topology)
+
+    @classmethod
+    def build(cls, spec_or_name: Union[str, MachineSpec],
+              costs: Optional[KernelCosts] = None, trace: bool = False) -> "Machine":
+        """Build from a paper machine name (``"ig"``) or a custom spec."""
+        spec = (get_machine(spec_or_name)
+                if isinstance(spec_or_name, str) else spec_or_name)
+        return cls(spec, costs=costs, trace=trace)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Machine {self.spec.name} t={self.sim.now:.6f}>"
+
+
+class ArrayBuffer:
+    """A numpy array paired with its :class:`SimBuffer` home."""
+
+    __slots__ = ("array", "sim")
+
+    def __init__(self, array: np.ndarray, sim_buffer: SimBuffer):
+        self.array = array
+        self.sim = sim_buffer
+
+    @property
+    def nbytes(self) -> int:
+        return self.sim.size
+
+
+class Proc:
+    """One simulated MPI process: rank, core binding, allocation helpers."""
+
+    def __init__(self, world: "World", rank: int, core: int):
+        self.world = world
+        self.rank = rank
+        self.core = core
+        self.machine = world.machine
+        self.domain = world.machine.spec.core_domain(core)
+        self.pml = PmlEndpoint(self, world)
+        self.comm: Comm = None  # type: ignore[assignment]  # set by World
+
+    # -- memory ---------------------------------------------------------
+    def alloc(self, nbytes: int, label: str = "", backed: bool = True) -> SimBuffer:
+        """Allocate ``nbytes`` on this process's NUMA domain (first touch)."""
+        return self.machine.mem.alloc(
+            nbytes, self.domain, label=label or f"r{self.rank}", backed=backed
+        )
+
+    def alloc_array(self, count: int, dtype: Any = "u1", label: str = "") -> ArrayBuffer:
+        """Allocate a typed numpy array homed on this process's domain."""
+        array = np.zeros(count, dtype=dtype)
+        buf = self.machine.mem.alloc(
+            array.nbytes, self.domain, label=label or f"r{self.rank}", array=array
+        )
+        return ArrayBuffer(array, buf)
+
+    def wrap(self, array: np.ndarray, label: str = "") -> ArrayBuffer:
+        """Copy a numpy array into a buffer owned by this process.
+
+        Always copies: a simulated process must own its memory — wrapping a
+        view of caller data (e.g. overlapping slices handed to several
+        ranks) would alias address spaces that are distinct on the real
+        machine.
+        """
+        owned = np.array(array, order="C", copy=True)
+        buf = self.machine.mem.alloc(
+            owned.nbytes, self.domain, label=label or f"r{self.rank}",
+            array=owned,
+        )
+        return ArrayBuffer(buf.array, buf)
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.machine.sim.now
+
+    def compute(self, seconds: float):
+        """Event representing local computation for ``seconds``."""
+        return self.machine.sim.timeout(seconds)
+
+    def elem_ops(self, n_ops: int):
+        """Computation event for ``n_ops`` calibrated element updates."""
+        return self.machine.sim.timeout(n_ops * self.machine.spec.core.elem_op_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Proc rank={self.rank} core={self.core} domain={self.domain}>"
+
+
+class World:
+    """Shared state of one job: processes, endpoints, communicators, coll."""
+
+    def __init__(self, machine: Machine, stack: Stack, cores: list[int]):
+        from repro.coll import make_component  # deferred: coll imports mpi
+
+        self.machine = machine
+        self.stack = stack
+        self._cid_counter = 0
+        self._comms: dict[int, CommShared] = {}
+        self.procs: list[Proc] = [Proc(self, rank, core)
+                                  for rank, core in enumerate(cores)]
+        world_cid = self.next_cid()
+        shared = self.get_or_create_comm(world_cid, list(range(len(cores))))
+        for rank, proc in enumerate(self.procs):
+            proc.comm = Comm(shared, proc, rank)
+        self.coll = make_component(stack.coll, self)
+
+    def proc(self, world_rank: int) -> Proc:
+        return self.procs[world_rank]
+
+    def endpoint(self, world_rank: int) -> PmlEndpoint:
+        return self.procs[world_rank].pml
+
+    def next_cid(self) -> int:
+        self._cid_counter += 1
+        return self._cid_counter
+
+    def get_or_create_comm(self, cid: int, world_ranks: list[int]) -> CommShared:
+        shared = self._comms.get(cid)
+        if shared is None:
+            shared = CommShared(self, cid, world_ranks)
+            self._comms[cid] = shared
+        return shared
+
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+
+class JobResult:
+    """Per-rank return values and timing of one :meth:`Job.run`."""
+
+    def __init__(self, values: list[Any], start: float, finish_times: list[float]):
+        self.values = values
+        self.start = start
+        self.finish_times = finish_times
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time of the slowest rank (the collective completion time)."""
+        return max(self.finish_times) - self.start
+
+    @property
+    def per_rank_elapsed(self) -> list[float]:
+        return [t - self.start for t in self.finish_times]
+
+
+class Job:
+    """Launches programs over a fixed set of ranks on one machine.
+
+    A Job may run several programs in sequence on the same ranks (the IMB
+    harness does); simulation time keeps advancing across runs, and
+    communicator/cache state persists, like a real MPI job.
+    """
+
+    def __init__(self, machine: Machine, nprocs: int,
+                 stack: Stack = TUNED_SM, binding: str = "linear"):
+        cores = bind_ranks(machine.spec, nprocs, policy=binding)
+        self.machine = machine
+        self.stack = stack
+        self.world = World(machine, stack, cores)
+
+    @property
+    def procs(self) -> list[Proc]:
+        return self.world.procs
+
+    @property
+    def nprocs(self) -> int:
+        return self.world.size
+
+    def run(self, program: Callable, *args: Any) -> JobResult:
+        """Run ``program(proc, *args)`` on every rank to completion."""
+        sim = self.machine.sim
+        start = sim.now
+        finish = [0.0] * self.nprocs
+        values: list[Any] = [None] * self.nprocs
+
+        def runner(proc: Proc):
+            value = yield from program(proc, *args)
+            finish[proc.rank] = sim.now
+            values[proc.rank] = value
+            return value
+
+        handles = [sim.process(runner(p), name=f"rank{p.rank}") for p in self.procs]
+        sim.run()
+        for h in handles:
+            if not h.ok:  # pragma: no cover - failures re-raise in run()
+                raise MpiError(f"rank program failed: {h.value!r}")
+        return JobResult(values, start, finish)

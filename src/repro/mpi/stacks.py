@@ -1,0 +1,116 @@
+"""Library configurations ("stacks") — the five setups of Section VI-A.
+
+A :class:`Stack` bundles a point-to-point transport configuration with a
+collective component name and tuning:
+
+==============  ==========================  =================================
+stack           collectives                 large-message transport
+==============  ==========================  =================================
+Tuned-SM        Open MPI *tuned*            copy-in/copy-out FIFO (SM BTL)
+Tuned-KNEM      Open MPI *tuned*            KNEM point-to-point (SM/KNEM BTL)
+MPICH2-SM       MPICH2 algorithm set        Nemesis double copy
+MPICH2-KNEM     MPICH2 algorithm set        KNEM LMT (>= 64 KB)
+KNEM-Coll       the paper's component       direct KNEM region calls
+==============  ==========================  =================================
+
+KNEM-Coll delegates messages below 16 KB and unimplemented operations to the
+regular point-to-point algorithms, like the real component (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.coll.tuning import DEFAULT_TUNING, Tuning
+from repro.errors import MpiError
+from repro.units import KiB
+
+__all__ = [
+    "Stack",
+    "TUNED_SM",
+    "TUNED_KNEM",
+    "MPICH2_SM",
+    "MPICH2_KNEM",
+    "KNEM_COLL",
+    "BASIC_SM",
+    "SM_TREE",
+    "ALL_STACKS",
+    "PAPER_STACKS",
+]
+
+
+@dataclass(frozen=True)
+class Stack:
+    """One MPI library configuration (see module docstring)."""
+
+    name: str
+    coll: str
+    use_knem_btl: bool
+    inline_limit: int = 64
+    eager_limit: int = 4 * KiB
+    knem_threshold: int = 16 * KiB
+    fifo_fragment: int = 32 * KiB
+    fifo_slots: int = 8
+    #: per-message MPI software costs (matching, protocol state machine,
+    #: progression polling) — charged to the sender at injection and to the
+    #: receiver at match/delivery.  Rendezvous-class messages carry the full
+    #: protocol; eager/inline messages a slim fast path.
+    sw_send_eager: float = 250e-9
+    sw_recv_eager: float = 350e-9
+    sw_send_rndv: float = 1.2e-6
+    sw_recv_rndv: float = 1.5e-6
+    tuning: Tuning = field(default_factory=lambda: DEFAULT_TUNING)
+
+    def __post_init__(self) -> None:
+        if self.inline_limit < 0 or self.eager_limit < self.inline_limit:
+            raise MpiError("need 0 <= inline_limit <= eager_limit")
+        if self.fifo_fragment <= 0 or self.fifo_slots <= 0:
+            raise MpiError("FIFO fragment size and slot count must be positive")
+        if self.use_knem_btl and self.knem_threshold <= self.eager_limit:
+            raise MpiError("knem_threshold must exceed eager_limit")
+
+    def with_tuning(self, name: str | None = None, **changes) -> "Stack":
+        """A copy of this stack with tuning fields replaced (ablations).
+
+        Pass ``name`` when the variant appears next to the original in one
+        sweep — series are keyed by stack name.
+        """
+        new = replace(self, tuning=replace(self.tuning, **changes))
+        if name is not None:
+            new = replace(new, name=name)
+        return new
+
+
+#: Open MPI tuned collectives over the copy-in/copy-out SM BTL (the default
+#: Open MPI setup the paper calls Tuned-SM).
+TUNED_SM = Stack(name="Tuned-SM", coll="tuned", use_knem_btl=False)
+
+#: Open MPI tuned collectives over KNEM point-to-point (Tuned-KNEM).
+TUNED_KNEM = Stack(name="Tuned-KNEM", coll="tuned", use_knem_btl=True,
+                   knem_threshold=16 * KiB)
+
+#: MPICH2 with Nemesis shared memory (MPICH2-SM).
+MPICH2_SM = Stack(name="MPICH2-SM", coll="mpich2", use_knem_btl=False,
+                  eager_limit=8 * KiB, fifo_fragment=32 * KiB)
+
+#: MPICH2 with the KNEM LMT for large messages (MPICH2-KNEM).  MPICH2 1.3's
+#: DMA LMT engages KNEM at 64 KB.
+MPICH2_KNEM = Stack(name="MPICH2-KNEM", coll="mpich2", use_knem_btl=True,
+                    eager_limit=8 * KiB, knem_threshold=64 * KiB)
+
+#: The paper's contribution: the KNEM collective component (KNEM-Coll).
+#: Point-to-point (used for delegation below 16 KB and for out-of-band
+#: control) runs over the SM/KNEM BTL like Open MPI v1.5's.
+KNEM_COLL = Stack(name="KNEM-Coll", coll="knem", use_knem_btl=True,
+                  knem_threshold=16 * KiB)
+
+#: Reference linear algorithms over the SM BTL (correctness baseline).
+BASIC_SM = Stack(name="Basic-SM", coll="basic", use_knem_btl=False)
+
+#: Graham-style shared-memory fan-in/fan-out trees (related-work baseline).
+SM_TREE = Stack(name="SM-Tree", coll="smtree", use_knem_btl=False)
+
+#: The five configurations of every figure in Section VI.
+PAPER_STACKS = (TUNED_SM, TUNED_KNEM, MPICH2_SM, MPICH2_KNEM, KNEM_COLL)
+
+ALL_STACKS = PAPER_STACKS + (BASIC_SM, SM_TREE)

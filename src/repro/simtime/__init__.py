@@ -1,0 +1,31 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, SimPy-style kernel written from scratch for this
+reproduction: the rest of the package models hardware resources and MPI
+processes as coroutines scheduled by :class:`Simulator`.
+
+Public surface:
+
+- :class:`Simulator` — the event loop (``now``, ``run``, ``process``).
+- :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — waitables.
+- :class:`Process` — a generator-based simulated process (yield events).
+- :mod:`repro.simtime.primitives` — channels, semaphores, latches, mailboxes.
+"""
+
+from repro.simtime.core import Event, Simulator, Timeout
+from repro.simtime.process import AllOf, AnyOf, Process
+from repro.simtime.primitives import Channel, CountdownLatch, Semaphore
+from repro.simtime.trace import Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Semaphore",
+    "CountdownLatch",
+    "Tracer",
+]

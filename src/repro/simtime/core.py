@@ -1,0 +1,232 @@
+"""Event loop core: :class:`Event`, :class:`Timeout`, :class:`Simulator`.
+
+Semantics follow the classic discrete-event pattern:
+
+- An :class:`Event` is *pending* until someone calls :meth:`Event.succeed`
+  or :meth:`Event.fail`; triggering enqueues it so its callbacks run at the
+  current simulation time (events never run callbacks synchronously, which
+  keeps process resumption ordering deterministic).
+- The :class:`Simulator` pops events in ``(time, sequence)`` order, so two
+  events scheduled for the same instant are processed in scheduling order.
+- Failures (:meth:`Event.fail`) propagate into any process waiting on the
+  event; an unwaited failure surfaces when the event is processed, so errors
+  cannot be silently dropped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["PENDING", "Event", "Timeout", "Simulator"]
+
+
+class _Pending:
+    """Sentinel for "event not yet triggered"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot waitable with a value or an exception.
+
+    Callbacks are invoked with the event itself when the simulator processes
+    the event, in registration order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+        self.name = name
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event left the queue)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception (once triggered)."""
+        if self._value is PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and enqueue callback processing."""
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters will see ``exc`` re-raised."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.sim._enqueue(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)``; runs immediately-ish if already processed."""
+        if self.callbacks is None:
+            # Already processed: schedule a fresh zero-delay dispatch so the
+            # caller still gets asynchronous (deterministic) notification.
+            proxy = Event(self.sim, name=f"{self.name}:late")
+            proxy.add_callback(lambda _e: fn(self))
+            if self._ok:
+                proxy.succeed(self._value)
+            else:
+                # Late waiters on a failed event observe the failure too, but
+                # via the proxy so the original defused flag is respected.
+                proxy.succeed(None)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.9f}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._enqueue(self, delay)
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    >>> sim = Simulator()
+    >>> done = []
+    >>> def prog():
+    ...     yield Timeout(sim, 1.5)
+    ...     done.append(sim.now)
+    >>> _ = sim.process(prog())
+    >>> sim.run()
+    >>> done
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        # Live processes (for deadlock diagnostics); maintained by Process.
+        self._live_processes: dict[int, Any] = {}
+
+    # -- queue plumbing ---------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"event {event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` simulated seconds; returns the event."""
+        ev = Timeout(self, delay, name="schedule")
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, gen: Generator, name: str = "", daemon: bool = False) -> "Process":
+        """Start a generator as a simulated process (see :class:`Process`).
+
+        ``daemon`` processes (e.g. per-rank progress engines) may still be
+        blocked when the event queue drains without that counting as a
+        deadlock.
+        """
+        from repro.simtime.process import Process
+
+        return Process(self, gen, name=name, daemon=daemon)
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advancing ``now``)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        t, _seq, event = heapq.heappop(self._heap)
+        if t < self.now - 1e-18:
+            raise SimulationError("event queue went backwards in time")
+        self.now = t
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if event._ok is False and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or ``now`` would exceed ``until``.
+
+        Raises :class:`~repro.errors.DeadlockError` if the queue drains while
+        simulated processes are still blocked (no ``until`` given).
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._heap:
+            t = self._heap[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+            return
+        blocked = [p.name for p in self._live_processes.values() if not p.daemon]
+        if blocked:
+            raise DeadlockError(sorted(blocked))
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._heap)

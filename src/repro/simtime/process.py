@@ -1,0 +1,167 @@
+"""Generator-based simulated processes and composite wait events.
+
+A :class:`Process` wraps a generator.  The generator *yields* events (any
+:class:`~repro.simtime.core.Event`) and is resumed with the event's value
+once it triggers; failed events are re-raised inside the generator so
+simulated code can use ordinary ``try``/``except``.  When the generator
+returns, the process (itself an event) succeeds with the return value.
+
+``yield from`` composes naturally, so the MPI layer exposes its operations
+as sub-generators (``yield from comm.send(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.simtime.core import Event, Simulator
+
+__all__ = ["Process", "AllOf", "AnyOf"]
+
+
+class Process(Event):
+    """A coroutine scheduled by the simulator; also an awaitable event."""
+
+    __slots__ = ("_gen", "_waiting_on", "daemon")
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "", daemon: bool = False):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(gen).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        Process._ids += 1
+        super().__init__(sim, name=name or f"process-{Process._ids}")
+        self._gen = gen
+        self.daemon = daemon
+        self._waiting_on: Event | None = None
+        sim._live_processes[id(self)] = self
+        # Kick off on the next queue dispatch at the current time.
+        start = Event(sim, name=f"{self.name}:start")
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Event | None:
+        """The event this process is currently blocked on (diagnostics)."""
+        return self._waiting_on
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok is False:
+                event._defused = True
+                target = self._gen.throw(event.value)
+            else:
+                target = self._gen.send(event.value if event is not self else None)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name} yielded {target!r}; processes must yield Event objects"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._finish_fail(
+                SimulationError(f"process {self.name} yielded an event from another simulator")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self.sim._live_processes.pop(id(self), None)
+        self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self.sim._live_processes.pop(id(self), None)
+        self.fail(exc)
+
+    def interrupt(self, reason: str = "") -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        ev = Event(self.sim, name=f"{self.name}:interrupt")
+        ev.add_callback(self._resume)
+        ev._defused = True
+        ev.fail(Interrupted(reason))
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason or "interrupted")
+        self.reason = reason
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values, in the order the children were
+    given.  If any child fails, the composite fails with that exception
+    (first failure wins).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: Simulator, events: Iterable[Event], name: str = "allof"):
+        super().__init__(sim, name=name)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            if child._ok is False:
+                child._defused = True
+            return
+        if child._ok is False:
+            child._defused = True
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds when the first child triggers; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: Simulator, events: Iterable[Event], name: str = "anyof"):
+        super().__init__(sim, name=name)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, child in enumerate(self._children):
+            child.add_callback(lambda ev, i=i: self._on_child(i, ev))
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self.triggered:
+            if child._ok is False:
+                child._defused = True
+            return
+        if child._ok is False:
+            child._defused = True
+            self.fail(child.value)
+            return
+        self.succeed((index, child.value))

@@ -1,0 +1,26 @@
+"""hwloc-style topology discovery over a :class:`~repro.hardware.spec.MachineSpec`.
+
+The paper's KNEM collective component builds its NUMA-aware communication
+trees from Hardware Locality (hwloc [16]) information: which cores share a
+cache, which share a NUMA node, which sit on the same board.  This package
+provides the same queries against the simulated machine:
+
+- :class:`~repro.topology.objects.Topology` — the object tree
+  (Machine > Board > Socket > NumaNode > Cache > Core);
+- :mod:`~repro.topology.distance` — core-to-core distance matrix and
+  locality grouping (the "sets" of Figure 1);
+- :mod:`~repro.topology.binding` — rank-to-core binding policies.
+"""
+
+from repro.topology.binding import BINDINGS, bind_ranks
+from repro.topology.distance import DistanceMatrix, group_by_domain
+from repro.topology.objects import Topology, TopologyObject
+
+__all__ = [
+    "Topology",
+    "TopologyObject",
+    "DistanceMatrix",
+    "group_by_domain",
+    "bind_ranks",
+    "BINDINGS",
+]

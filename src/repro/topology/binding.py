@@ -1,0 +1,63 @@
+"""Rank-to-core binding policies.
+
+The paper pins one MPI process per physical core and keeps the mapping
+identical across all compared MPI implementations ("the mapping between
+physical cores and MPI processes is identical, regardless of the MPI
+implementation used").  The default ``linear`` policy reproduces that:
+rank *r* on core *r* (socket-major), which also matches how ``mpirun
+--bind-to core`` lays ranks out on these machines.
+
+``scatter`` (round-robin across sockets) is provided for experiments on
+binding sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import MachineSpec
+
+__all__ = ["bind_ranks", "BINDINGS"]
+
+
+def _linear(spec: MachineSpec, n: int) -> list[int]:
+    return list(range(n))
+
+
+def _scatter(spec: MachineSpec, n: int) -> list[int]:
+    order: list[int] = []
+    per_socket = [list(spec.cores_of_socket(s)) for s in range(spec.n_sockets)]
+    i = 0
+    while len(order) < spec.n_cores:
+        for sock in per_socket:
+            if i < len(sock):
+                order.append(sock[i])
+        i += 1
+    return order[:n]
+
+
+BINDINGS = {"linear": _linear, "scatter": _scatter}
+
+
+def bind_ranks(spec: MachineSpec, n_ranks: int, policy: str = "linear") -> list[int]:
+    """Return the core bound to each rank (index = rank).
+
+    One process per core, as in the paper's runs; oversubscription is
+    rejected because the simulation's copy-engine model assumes a dedicated
+    core per process.
+    """
+    if n_ranks <= 0:
+        raise HardwareConfigError(f"need at least one rank, got {n_ranks}")
+    if n_ranks > spec.n_cores:
+        raise HardwareConfigError(
+            f"{n_ranks} ranks oversubscribe {spec.name} ({spec.n_cores} cores)"
+        )
+    try:
+        fn = BINDINGS[policy]
+    except KeyError:
+        raise HardwareConfigError(
+            f"unknown binding policy {policy!r}; available: {sorted(BINDINGS)}"
+        ) from None
+    cores = fn(spec, n_ranks)
+    if len(set(cores)) != len(cores):
+        raise HardwareConfigError("binding produced duplicate cores")  # pragma: no cover
+    return cores

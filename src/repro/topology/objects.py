@@ -1,0 +1,166 @@
+"""The topology object tree (hwloc-alike).
+
+Object types, from root to leaves::
+
+    machine > board > socket > numanode-view > cache levels > core
+
+Each object knows its type, logical index, the machine cores it spans
+(``cpuset``), its parent, and its children.  The tree is derived entirely
+from the :class:`~repro.hardware.spec.MachineSpec`, mirroring what hwloc
+would report on the real machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import HardwareConfigError
+from repro.hardware.spec import MachineSpec
+
+__all__ = ["TopologyObject", "Topology", "OBJECT_TYPES"]
+
+#: Object types in root-to-leaf order ("numanode" binds to the memory domain).
+OBJECT_TYPES = ("machine", "board", "socket", "cache", "core")
+
+
+class TopologyObject:
+    """One node of the topology tree."""
+
+    __slots__ = ("type", "index", "cpuset", "parent", "children", "attrs")
+
+    def __init__(
+        self,
+        type: str,
+        index: int,
+        cpuset: tuple[int, ...],
+        parent: Optional["TopologyObject"] = None,
+        **attrs,
+    ):
+        if type not in OBJECT_TYPES:
+            raise HardwareConfigError(f"unknown topology object type {type!r}")
+        self.type = type
+        self.index = index
+        self.cpuset = cpuset
+        self.parent = parent
+        self.children: list[TopologyObject] = []
+        self.attrs = attrs
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def depth(self) -> int:
+        d, obj = 0, self
+        while obj.parent is not None:
+            d += 1
+            obj = obj.parent
+        return d
+
+    def walk(self) -> Iterator["TopologyObject"]:
+        """Depth-first pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def ancestors(self) -> Iterator["TopologyObject"]:
+        obj = self.parent
+        while obj is not None:
+            yield obj
+            obj = obj.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.type}#{self.index} cpuset={self.cpuset}>"
+
+
+class Topology:
+    """Discovered topology of a machine; query object by hwloc-like calls."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self.root = TopologyObject("machine", 0, tuple(range(spec.n_cores)),
+                                   name=spec.name)
+        boards: dict[int, TopologyObject] = {}
+        for b in range(spec.n_boards):
+            cores = tuple(
+                c
+                for s in range(spec.n_sockets)
+                if spec.socket_board[s] == b
+                for c in spec.cores_of_socket(s)
+            )
+            boards[b] = TopologyObject("board", b, cores, parent=self.root)
+        self.sockets: list[TopologyObject] = []
+        for s in range(spec.n_sockets):
+            sock = TopologyObject(
+                "socket",
+                s,
+                tuple(spec.cores_of_socket(s)),
+                parent=boards[spec.socket_board[s]],
+                domain=spec.socket_domain[s],
+            )
+            self.sockets.append(sock)
+        # Cache levels inside each socket, widest scope first.
+        self._cores: list[TopologyObject] = [None] * spec.n_cores  # type: ignore
+        for sock in self.sockets:
+            self._grow_caches(sock, list(spec.caches)[::-1], list(sock.cpuset))
+
+    def _grow_caches(self, parent: TopologyObject, caches: list, cores: list[int]) -> None:
+        if not caches:
+            for c in cores:
+                self._cores[c] = TopologyObject(
+                    "core", c, (c,), parent=parent, domain=self.spec.core_domain(c)
+                )
+            return
+        cache, rest = caches[0], caches[1:]
+        seen: set[tuple[int, ...]] = set()
+        for c in cores:
+            group = tuple(g for g in self.spec.cache_group(c, cache) if g in set(cores))
+            if group in seen:
+                continue
+            seen.add(group)
+            obj = TopologyObject(
+                "cache",
+                len(seen) - 1,
+                group,
+                parent=parent,
+                level=cache.level,
+                size=cache.size,
+            )
+            self._grow_caches(obj, rest, list(group))
+
+    # -- queries --------------------------------------------------------------
+    def core(self, index: int) -> TopologyObject:
+        if not 0 <= index < len(self._cores):
+            raise HardwareConfigError(f"core {index} out of range")
+        return self._cores[index]
+
+    def objects(self, type: str) -> list[TopologyObject]:
+        return [o for o in self.root.walk() if o.type == type]
+
+    def common_ancestor(self, core_a: int, core_b: int) -> TopologyObject:
+        """Lowest common ancestor of two cores (hwloc's distance anchor)."""
+        path_a = [self.core(core_a)] + list(self.core(core_a).ancestors())
+        in_a = set(map(id, path_a))
+        for obj in [self.core(core_b)] + list(self.core(core_b).ancestors()):
+            if id(obj) in in_a:
+                return obj
+        raise HardwareConfigError("disconnected topology tree")  # pragma: no cover
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (used by the topology explorer example)."""
+        lines: list[str] = []
+
+        def emit(obj: TopologyObject, indent: int) -> None:
+            extra = ""
+            if obj.type == "cache":
+                extra = f" L{obj.attrs['level']} {obj.attrs['size'] // (1024 * 1024)}MB"
+            if obj.type in ("socket", "core") and "domain" in obj.attrs:
+                extra = f" domain={obj.attrs['domain']}"
+            if obj.type == "core":
+                lines.append("  " * indent + f"core {obj.index}{extra}")
+            else:
+                span = f"[{obj.cpuset[0]}-{obj.cpuset[-1]}]" if obj.cpuset else "[]"
+                lines.append("  " * indent + f"{obj.type} {obj.index} {span}{extra}")
+                for child in obj.children:
+                    emit(child, indent + 1)
+
+        emit(self.root, 0)
+        return "\n".join(lines)

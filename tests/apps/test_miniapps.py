@@ -1,0 +1,73 @@
+"""Stencil and transpose mini-apps: distributed results vs oracles."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import StencilConfig, jacobi_reference, run_stencil
+from repro.apps.transpose import TransposeConfig, alltoall_time, run_transpose
+from repro.errors import BenchmarkError
+from repro.mpi import stacks
+
+
+class TestStencil:
+    @pytest.mark.parametrize("stack", [stacks.TUNED_SM, stacks.KNEM_COLL],
+                             ids=lambda s: s.name)
+    def test_matches_reference(self, stack):
+        rng = np.random.default_rng(5)
+        grid = rng.random((34, 20))
+        cfg = StencilConfig(rows=34, cols=20, iterations=4)
+        out, elapsed = run_stencil("dancer", stack, cfg, grid, nprocs=8)
+        ref = jacobi_reference(grid, 4)
+        assert out.shape == ref.shape
+        assert np.allclose(out, ref)
+        assert elapsed > 0
+
+    def test_uneven_strips(self):
+        rng = np.random.default_rng(6)
+        grid = rng.random((23, 16))
+        cfg = StencilConfig(rows=23, cols=16, iterations=3)
+        out, _ = run_stencil("dancer", stacks.TUNED_SM, cfg, grid, nprocs=5)
+        assert np.allclose(out, jacobi_reference(grid, 3))
+
+    def test_single_rank(self):
+        grid = np.arange(8 * 8, dtype=float).reshape(8, 8)
+        cfg = StencilConfig(rows=8, cols=8, iterations=2)
+        out, _ = run_stencil("dancer", stacks.TUNED_SM, cfg, grid, nprocs=1)
+        assert np.allclose(out, jacobi_reference(grid, 2))
+
+    def test_too_many_ranks_rejected(self):
+        cfg = StencilConfig(rows=6, cols=6, iterations=1)
+        with pytest.raises(BenchmarkError):
+            run_stencil("dancer", stacks.TUNED_SM, cfg,
+                        np.zeros((6, 6)), nprocs=8)
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(BenchmarkError):
+            StencilConfig(rows=2, cols=8, iterations=1)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("stack", [stacks.TUNED_SM, stacks.KNEM_COLL],
+                             ids=lambda s: s.name)
+    def test_matches_numpy_transpose(self, stack):
+        rng = np.random.default_rng(9)
+        mat = rng.random((32, 32))
+        out, elapsed = run_transpose("dancer", stack, mat, nprocs=8)
+        assert np.allclose(out, mat.T)
+        assert elapsed > 0
+
+    def test_single_rank(self):
+        mat = np.arange(16.0).reshape(4, 4)
+        out, _ = run_transpose("dancer", stacks.TUNED_SM, mat, nprocs=1)
+        assert np.allclose(out, mat.T)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(BenchmarkError):
+            TransposeConfig(n=10, nprocs=3)
+
+    def test_alltoall_time_positive_and_size_monotone(self):
+        small = alltoall_time("dancer", stacks.KNEM_COLL,
+                              TransposeConfig(n=256, nprocs=8))
+        large = alltoall_time("dancer", stacks.KNEM_COLL,
+                              TransposeConfig(n=1024, nprocs=8))
+        assert 0 < small < large

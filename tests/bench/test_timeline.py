@@ -1,0 +1,47 @@
+"""Trace-timeline utility."""
+
+from repro.bench.timeline import copy_stats, extract_copies, render_timeline
+from repro.mpi import Job, Machine, stacks
+from repro.units import KiB
+
+
+def traced_bcast():
+    machine = Machine.build("dancer", trace=True)
+    job = Job(machine, nprocs=4, stack=stacks.KNEM_COLL)
+
+    def prog(proc):
+        buf = proc.alloc(64 * KiB, backed=False)
+        yield from proc.comm.bcast(buf, 0, 64 * KiB, root=0)
+
+    job.run(prog)
+    return machine
+
+
+def test_extract_orders_by_time():
+    machine = traced_bcast()
+    spans = extract_copies(machine.tracer)
+    assert spans
+    times = [s.time for s in spans]
+    assert times == sorted(times)
+    assert all(s.nbytes > 0 for s in spans)
+
+
+def test_render_contains_copies_and_cores():
+    machine = traced_bcast()
+    text = render_timeline(machine.tracer)
+    assert "copies over" in text
+    assert "knem" in text
+    assert "core" in text
+
+
+def test_render_without_trace_is_graceful():
+    machine = Machine.build("dancer")  # tracing off
+    assert "no copy records" in render_timeline(machine.tracer)
+
+
+def test_copy_stats_aggregates():
+    machine = traced_bcast()
+    stats = copy_stats(machine.tracer)
+    assert "knem" in stats["by_kind"]
+    total = sum(v["copies"] for v in stats["by_kind"].values())
+    assert total == len(extract_copies(machine.tracer))

@@ -1,0 +1,138 @@
+"""Tree/schedule helpers: binomial trees, chains, segmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coll.algorithms import (
+    binary_parent_children,
+    binomial_children,
+    binomial_parent,
+    binomial_subtree_size,
+    chain_neighbors,
+    rank_of,
+    segments,
+    vrank_of,
+)
+
+
+class TestVranks:
+    def test_roundtrip(self):
+        for size in (1, 5, 8, 48):
+            for root in range(size):
+                for rank in range(size):
+                    v = vrank_of(rank, root, size)
+                    assert rank_of(v, root, size) == rank
+
+    def test_root_is_vrank_zero(self):
+        assert vrank_of(5, 5, 8) == 0
+
+
+class TestBinomial:
+    def test_known_tree_of_8(self):
+        assert binomial_parent(0) is None
+        assert binomial_children(0, 8) == [4, 2, 1]
+        assert binomial_children(1, 8) == []
+        assert binomial_children(2, 8) == [3]
+        assert binomial_children(4, 8) == [6, 5]
+        assert binomial_children(6, 8) == [7]
+        assert binomial_parent(7) == 6
+        assert binomial_parent(6) == 4
+        assert binomial_parent(5) == 4
+        assert binomial_parent(3) == 2
+
+    def test_subtree_sizes_of_8(self):
+        assert binomial_subtree_size(0, 8) == 8
+        assert binomial_subtree_size(4, 8) == 4
+        assert binomial_subtree_size(2, 8) == 2
+        assert binomial_subtree_size(1, 8) == 1
+
+    def test_non_pow2_truncation(self):
+        assert binomial_children(0, 6) == [4, 2, 1]
+        assert binomial_children(4, 6) == [5]
+        assert binomial_subtree_size(4, 6) == 2
+
+    def test_single_rank(self):
+        assert binomial_children(0, 1) == []
+
+
+@given(size=st.integers(min_value=1, max_value=64))
+@settings(max_examples=64)
+def test_binomial_tree_is_spanning(size):
+    """Every vrank is reached exactly once from vrank 0."""
+    reached = {0}
+    frontier = [0]
+    while frontier:
+        v = frontier.pop()
+        for c in binomial_children(v, size):
+            assert c not in reached
+            assert binomial_parent(c) == v
+            reached.add(c)
+            frontier.append(c)
+    assert reached == set(range(size))
+
+
+@given(size=st.integers(min_value=1, max_value=64),
+       v=st.integers(min_value=0, max_value=63))
+@settings(max_examples=80)
+def test_binomial_subtree_matches_traversal(size, v):
+    if v >= size:
+        return
+
+    def count(x):
+        return 1 + sum(count(c) for c in binomial_children(x, size))
+
+    assert binomial_subtree_size(v, size) == count(v)
+
+
+@given(size=st.integers(min_value=1, max_value=40))
+@settings(max_examples=40)
+def test_binary_tree_is_spanning(size):
+    reached = set()
+    for v in range(size):
+        parent, children = binary_parent_children(v, size)
+        if v == 0:
+            assert parent is None
+        else:
+            p, kids = binary_parent_children(parent, size)
+            assert v in kids
+        reached.add(v)
+        assert all(0 < c < size for c in children)
+    assert reached == set(range(size))
+
+
+class TestChain:
+    def test_endpoints(self):
+        assert chain_neighbors(0, 5) == (None, 1)
+        assert chain_neighbors(4, 5) == (3, None)
+        assert chain_neighbors(2, 5) == (1, 3)
+
+    def test_single(self):
+        assert chain_neighbors(0, 1) == (None, None)
+
+
+class TestSegments:
+    def test_exact_division(self):
+        assert segments(100, 25) == [(0, 25), (25, 25), (50, 25), (75, 25)]
+
+    def test_remainder(self):
+        assert segments(100, 40) == [(0, 40), (40, 40), (80, 20)]
+
+    def test_zero_bytes(self):
+        assert segments(0, 64) == [(0, 0)]
+
+    def test_no_segmentation(self):
+        assert segments(100, 0) == [(0, 100)]
+        assert segments(100, 200) == [(0, 100)]
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 24),
+           segsize=st.integers(min_value=256, max_value=1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property(self, nbytes, segsize):
+        segs = segments(nbytes, segsize)
+        assert sum(ln for _off, ln in segs) == nbytes
+        pos = 0
+        for off, ln in segs:
+            assert off == pos
+            assert 0 < ln <= segsize
+            pos += ln

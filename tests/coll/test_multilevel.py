@@ -1,0 +1,119 @@
+"""Three-level (board-aware) broadcast hierarchy — the future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.coll.hierarchy import build_board_tree
+from repro.mpi import Job, Machine, stacks
+from repro.mpi.communicator import CollCtx
+from repro.units import KiB, MiB
+
+HIER3 = stacks.KNEM_COLL.with_tuning(hierarchy_levels=3)
+
+
+def make_ctx(machine="ig", nprocs=48, root=0):
+    job = Job(Machine.build(machine), nprocs=nprocs, stack=HIER3)
+    return CollCtx(job.procs[0].comm, seq=1)
+
+
+class TestBoardTree:
+    def test_spanning_tree(self):
+        tree = build_board_tree(make_ctx(), root=0)
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            r = frontier.pop()
+            for c in tree.children[r]:
+                assert c not in reached
+                assert tree.parent[c] == r
+                reached.add(c)
+                frontier.append(c)
+        assert reached == set(range(48))
+
+    def test_one_interboard_edge(self):
+        """Exactly one tree edge crosses the board boundary (vs 4 in the
+        two-level tree)."""
+        ctx = make_ctx()
+        spec = Machine.build("ig").spec
+        tree = build_board_tree(ctx, root=0)
+        crossing = [
+            (p, c)
+            for c, p in enumerate(tree.parent) if p is not None
+            if spec.core_board(c) != spec.core_board(p)
+        ]
+        assert len(crossing) == 1
+        assert crossing[0][0] == 0  # root feeds the far board's leader
+
+    def test_roles(self):
+        tree = build_board_tree(make_ctx(), root=0)
+        roles = [tree.role(r) for r in range(48)]
+        assert roles.count("root") == 1
+        # 7 non-root domain leaders (one of them also the far board leader)
+        assert roles.count("relay") == 7
+        assert roles.count("leaf") == 40
+
+    def test_nonzero_root(self):
+        tree = build_board_tree(make_ctx(root=30), root=30)
+        assert tree.parent[30] is None
+        assert tree.role(30) == "root"
+
+    def test_cached(self):
+        ctx = make_ctx()
+        assert build_board_tree(ctx, 0) is build_board_tree(ctx, 0)
+
+
+class TestMultilevelBcast:
+    def test_data_correct_on_ig(self):
+        def program(proc):
+            n = 96 * KiB
+            buf = proc.alloc_array(n, "u1")
+            if proc.rank == 0:
+                buf.array[:] = np.arange(n, dtype=np.uint8) % 251
+            yield from proc.comm.bcast(buf.sim, 0, n, root=0)
+            return np.array_equal(buf.array,
+                                  np.arange(n, dtype=np.uint8) % 251)
+
+        job = Job(Machine.build("ig"), nprocs=48, stack=HIER3)
+        assert all(job.run(program).values)
+
+    def test_data_correct_nonzero_root_partial_ranks(self):
+        def program(proc):
+            n = 64 * KiB
+            buf = proc.alloc_array(n, "u1")
+            if proc.rank == 17:
+                buf.array[:] = 123
+            yield from proc.comm.bcast(buf.sim, 0, n, root=17)
+            return (buf.array == 123).all()
+
+        job = Job(Machine.build("ig"), nprocs=30, stack=HIER3)
+        assert all(job.run(program).values)
+
+    def test_falls_back_to_two_level_on_single_board(self):
+        machine = Machine.build("dancer")
+        job = Job(machine, nprocs=8, stack=HIER3)
+
+        def program(proc):
+            buf = proc.alloc(256 * KiB, backed=False)
+            yield from proc.comm.bcast(buf, 0, 256 * KiB, root=0)
+
+        job.run(program)
+        # two-level path: root + 1 leader registration
+        assert machine.knem.stats_registrations == 2
+
+    def test_competitive_with_two_level(self):
+        """Relaying across the interlink once (vs once per far-board
+        domain) must not cost time at large sizes."""
+        def timed(stack):
+            job = Job(Machine.build("ig"), nprocs=48, stack=stack)
+
+            def program(proc):
+                buf = proc.alloc(4 * MiB, backed=False)
+                t0 = proc.now
+                yield from proc.comm.bcast(buf, 0, 4 * MiB, root=0)
+                return proc.now - t0
+
+            return max(job.run(program).values)
+
+        two = timed(stacks.KNEM_COLL)
+        three = timed(HIER3)
+        assert three < two * 1.05

@@ -1,0 +1,120 @@
+"""Non-blocking collectives (extension): overlap, ordering, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Job, Machine, stacks
+from repro.units import KiB, MiB
+
+
+def run(program, stack=stacks.KNEM_COLL, nprocs=8, machine="dancer"):
+    job = Job(Machine.build(machine), nprocs=nprocs, stack=stack)
+    return job.run(program)
+
+
+class TestIbcast:
+    @pytest.mark.parametrize("stack", [stacks.TUNED_SM, stacks.KNEM_COLL],
+                             ids=lambda s: s.name)
+    def test_data_delivered(self, stack):
+        def program(proc):
+            n = 128 * KiB
+            buf = proc.alloc_array(n, "u1")
+            if proc.rank == 0:
+                buf.array[:] = 55
+            req = proc.comm.ibcast(buf.sim, 0, n, root=0)
+            yield req.event
+            return (buf.array == 55).all()
+
+        assert all(run(program, stack=stack).values)
+
+    def test_overlaps_with_compute(self):
+        """Compute issued after ibcast must not extend the critical path
+        beyond max(bcast, compute) + epsilon."""
+        def make(overlap):
+            def program(proc):
+                n = 2 * MiB
+                buf = proc.alloc(n, backed=False)
+                t0 = proc.now
+                if overlap:
+                    req = proc.comm.ibcast(buf, 0, n, root=0)
+                    yield proc.compute(1e-3)
+                    yield req.event
+                else:
+                    yield from proc.comm.bcast(buf, 0, n, root=0)
+                    yield proc.compute(1e-3)
+                return proc.now - t0
+            return program
+
+        blocking = max(run(make(False)).values)
+        overlapped = max(run(make(True)).values)
+        assert overlapped < blocking * 0.85
+
+    def test_two_outstanding_collectives(self):
+        """Overlapped collectives keep their payloads separate."""
+        def program(proc):
+            n = 64 * KiB
+            a = proc.alloc_array(n, "u1")
+            b = proc.alloc_array(n, "u1")
+            if proc.rank == 0:
+                a.array[:] = 1
+            if proc.rank == 1:
+                b.array[:] = 2
+            ra = proc.comm.ibcast(a.sim, 0, n, root=0)
+            rb = proc.comm.ibcast(b.sim, 0, n, root=1)
+            yield ra.event
+            yield rb.event
+            return (a.array == 1).all() and (b.array == 2).all()
+
+        assert all(run(program).values)
+
+
+class TestOtherNonblocking:
+    def test_igather(self):
+        def program(proc):
+            n = 32 * KiB
+            send = proc.alloc_array(n, "u1")
+            send.array[:] = proc.rank + 1
+            recv = (proc.alloc_array(n * proc.comm.size, "u1")
+                    if proc.rank == 0 else None)
+            req = proc.comm.igather(send.sim, recv.sim if recv else None,
+                                    n, root=0)
+            yield req.event
+            if proc.rank:
+                return True
+            return all((recv.array[r * n:(r + 1) * n] == r + 1).all()
+                       for r in range(proc.comm.size))
+
+        assert all(run(program).values)
+
+    def test_iallgather_and_ialltoall(self):
+        def program(proc):
+            P = proc.comm.size
+            n = 16 * KiB
+            s1 = proc.alloc_array(n, "u1")
+            s1.array[:] = proc.rank + 1
+            r1 = proc.alloc_array(n * P, "u1")
+            s2 = proc.alloc_array(n * P, "u1")
+            for r in range(P):
+                s2.array[r * n:(r + 1) * n] = (proc.rank * P + r) % 251
+            r2 = proc.alloc_array(n * P, "u1")
+            q1 = proc.comm.iallgather(s1.sim, r1.sim, n)
+            yield q1.event
+            q2 = proc.comm.ialltoall(s2.sim, r2.sim, n)
+            yield q2.event
+            ok = all((r1.array[r * n:(r + 1) * n] == r + 1).all()
+                     for r in range(P))
+            ok &= all((r2.array[r * n:(r + 1) * n] == (r * P + proc.rank) % 251).all()
+                      for r in range(P))
+            return ok
+
+        assert all(run(program).values)
+
+    def test_ibarrier_releases_only_after_all_arrive(self):
+        def program(proc):
+            yield proc.compute((proc.rank + 1) * 1e-4)
+            req = proc.comm.ibarrier()
+            yield req.event
+            return proc.now
+
+        res = run(program, nprocs=4)
+        assert all(t >= 4e-4 for t in res.values)

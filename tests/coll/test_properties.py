@@ -1,0 +1,134 @@
+"""Property-based collective correctness: random sizes, roots, rank counts.
+
+One hypothesis-driven test per collective family, run on the two components
+with the most distinct code paths (tuned baseline vs the KNEM component),
+on a small NUMA machine so examples stay fast.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.machines import numa_machine
+from repro.mpi import Job, Machine, stacks
+
+SPEC = numa_machine(name="prop-numa", n_domains=2, cores_per_socket=3)
+
+STACKS = {"tuned": stacks.TUNED_SM, "knem": stacks.KNEM_COLL}
+
+sizes = st.integers(min_value=1, max_value=96 * 1024)
+nprocs_strategy = st.integers(min_value=1, max_value=6)
+component = st.sampled_from(sorted(STACKS))
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def fresh_job(nprocs, comp):
+    return Job(Machine.build(SPEC), nprocs=nprocs, stack=STACKS[comp])
+
+
+def pattern(rank, n):
+    return ((np.arange(n) * 7 + rank * 13 + 1) % 251).astype(np.uint8)
+
+
+@given(nbytes=sizes, nprocs=nprocs_strategy, data=st.data(),
+       comp=component)
+@settings(**SETTINGS)
+def test_bcast_delivers_root_bytes(nbytes, nprocs, data, comp):
+    root = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+
+    def program(proc):
+        buf = proc.alloc_array(nbytes, "u1")
+        if proc.rank == root:
+            buf.array[:] = pattern(root, nbytes)
+        yield from proc.comm.bcast(buf.sim, 0, nbytes, root=root)
+        return np.array_equal(buf.array, pattern(root, nbytes))
+
+    assert all(fresh_job(nprocs, comp).run(program).values)
+
+
+@given(count=sizes, nprocs=nprocs_strategy, data=st.data(), comp=component)
+@settings(**SETTINGS)
+def test_gather_orders_blocks_by_rank(count, nprocs, data, comp):
+    root = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+
+    def program(proc):
+        send = proc.alloc_array(count, "u1")
+        send.array[:] = pattern(proc.rank, count)
+        recv = (proc.alloc_array(count * nprocs, "u1")
+                if proc.rank == root else None)
+        yield from proc.comm.gather(send.sim, recv.sim if recv else None,
+                                    count, root=root)
+        if proc.rank != root:
+            return True
+        return all(
+            np.array_equal(recv.array[r * count:(r + 1) * count],
+                           pattern(r, count))
+            for r in range(nprocs)
+        )
+
+    assert all(fresh_job(nprocs, comp).run(program).values)
+
+
+@given(count=sizes, nprocs=nprocs_strategy, comp=component)
+@settings(**SETTINGS)
+def test_allgather_equals_gather_everywhere(count, nprocs, comp):
+    def program(proc):
+        send = proc.alloc_array(count, "u1")
+        send.array[:] = pattern(proc.rank, count)
+        recv = proc.alloc_array(count * nprocs, "u1")
+        yield from proc.comm.allgather(send.sim, recv.sim, count)
+        return all(
+            np.array_equal(recv.array[r * count:(r + 1) * count],
+                           pattern(r, count))
+            for r in range(nprocs)
+        )
+
+    assert all(fresh_job(nprocs, comp).run(program).values)
+
+
+@given(count=st.integers(min_value=1, max_value=48 * 1024),
+       nprocs=nprocs_strategy, comp=component)
+@settings(**SETTINGS)
+def test_alltoall_is_block_transpose(count, nprocs, comp):
+    def program(proc):
+        send = proc.alloc_array(count * nprocs, "u1")
+        for r in range(nprocs):
+            send.array[r * count:(r + 1) * count] = \
+                pattern(proc.rank * nprocs + r, count)
+        recv = proc.alloc_array(count * nprocs, "u1")
+        yield from proc.comm.alltoall(send.sim, recv.sim, count)
+        return all(
+            np.array_equal(recv.array[r * count:(r + 1) * count],
+                           pattern(r * nprocs + proc.rank, count))
+            for r in range(nprocs)
+        )
+
+    assert all(fresh_job(nprocs, comp).run(program).values)
+
+
+@given(nprocs=nprocs_strategy, data=st.data(), comp=component)
+@settings(**SETTINGS)
+def test_scatterv_ragged_blocks(nprocs, data, comp):
+    counts = [data.draw(st.integers(min_value=0, max_value=32 * 1024))
+              for _ in range(nprocs)]
+    root = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+    displs = list(np.cumsum([0] + counts[:-1]))
+    total = sum(counts)
+
+    def program(proc):
+        send = None
+        if proc.rank == root:
+            send = proc.alloc_array(max(total, 1), "u1")
+            for r in range(nprocs):
+                send.array[displs[r]:displs[r] + counts[r]] = \
+                    pattern(r, counts[r])
+        recv = proc.alloc_array(max(counts[proc.rank], 1), "u1")
+        yield from proc.comm.scatterv(send.sim if send else None, counts,
+                                      displs, recv.sim, root=root)
+        return np.array_equal(recv.array[:counts[proc.rank]],
+                              pattern(proc.rank, counts[proc.rank]))
+
+    assert all(fresh_job(nprocs, comp).run(program).values)

@@ -1,0 +1,111 @@
+"""Reduce / Allreduce (extension collectives) across components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectiveError
+from repro.mpi import Job, Machine, stacks
+
+
+def run(program, *args, stack=stacks.TUNED_SM, nprocs=8, machine="dancer"):
+    job = Job(Machine.build(machine), nprocs=nprocs, stack=stack)
+    return job.run(program, *args)
+
+
+ALL = [stacks.TUNED_SM, stacks.TUNED_KNEM, stacks.MPICH2_SM, stacks.KNEM_COLL]
+IDS = [s.name for s in ALL]
+
+
+@pytest.mark.parametrize("stack", ALL, ids=IDS)
+class TestReduce:
+    def test_sum_of_ranks(self, stack):
+        n = 4096  # 1024 int32 elements
+
+        def program(proc, root):
+            send = proc.alloc_array(1024, "i4")
+            send.array[:] = proc.rank + 1
+            recv = (proc.alloc_array(1024, "i4")
+                    if proc.rank == root else None)
+            yield from proc.comm.reduce(send.sim, recv.sim if recv else None,
+                                        n, root=root, dtype="i4", op="sum")
+            if proc.rank != root:
+                return True
+            expected = sum(r + 1 for r in range(proc.comm.size))
+            return (recv.array == expected).all()
+
+        for root in (0, 3):
+            assert all(run(program, root, stack=stack).values)
+
+    def test_min_max(self, stack):
+        def program(proc):
+            send = proc.alloc_array(256, "f8")
+            send.array[:] = float(proc.rank)
+            lo = proc.alloc_array(256, "f8")
+            hi = proc.alloc_array(256, "f8")
+            yield from proc.comm.reduce(send.sim, lo.sim, 2048, root=0,
+                                        dtype="f8", op="min")
+            yield from proc.comm.reduce(send.sim, hi.sim, 2048, root=0,
+                                        dtype="f8", op="max")
+            if proc.rank:
+                return True
+            return (lo.array == 0.0).all() and \
+                (hi.array == float(proc.comm.size - 1)).all()
+
+        assert all(run(program, stack=stack).values)
+
+    def test_allreduce_everyone_gets_result(self, stack):
+        def program(proc):
+            send = proc.alloc_array(512, "i8")
+            send.array[:] = proc.rank
+            recv = proc.alloc_array(512, "i8")
+            yield from proc.comm.allreduce(send.sim, recv.sim, 4096,
+                                           dtype="i8", op="sum")
+            expected = sum(range(proc.comm.size))
+            return (recv.array == expected).all()
+
+        assert all(run(program, stack=stack).values)
+
+
+class TestReduceValidation:
+    def test_unknown_op_rejected(self):
+        def program(proc):
+            buf = proc.alloc(64)
+            try:
+                yield from proc.comm.reduce(buf, buf, 64, root=0, op="xor")
+            except CollectiveError:
+                return "rejected"
+            return "accepted"
+
+        assert all(v == "rejected" for v in run(program, nprocs=2).values)
+
+    def test_misaligned_count_rejected(self):
+        def program(proc):
+            buf = proc.alloc(10)
+            try:
+                yield from proc.comm.reduce(buf, buf, 10, root=0, dtype="i4")
+            except CollectiveError:
+                return "rejected"
+            return "accepted"
+
+        assert all(v == "rejected" for v in run(program, nprocs=2).values)
+
+    def test_single_rank(self):
+        def program(proc):
+            send = proc.alloc_array(16, "i4")
+            send.array[:] = 7
+            recv = proc.alloc_array(16, "i4")
+            yield from proc.comm.allreduce(send.sim, recv.sim, 64, dtype="i4")
+            return (recv.array == 7).all()
+
+        assert all(run(program, nprocs=1).values)
+
+    def test_prod(self):
+        def program(proc):
+            send = proc.alloc_array(8, "i8")
+            send.array[:] = 2
+            recv = proc.alloc_array(8, "i8")
+            yield from proc.comm.allreduce(send.sim, recv.sim, 64,
+                                           dtype="i8", op="prod")
+            return (recv.array == 2 ** proc.comm.size).all()
+
+        assert all(run(program, nprocs=4).values)

@@ -1,0 +1,47 @@
+"""Shared fixtures: machines, memory systems, and small job builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.machines import dancer, ig, numa_machine, saturn, smp_machine, zoot
+from repro.hardware.memory import MemorySystem
+from repro.mpi.runtime import Job, Machine
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_smp():
+    """A 4-core single-domain machine (fast tests)."""
+    return smp_machine(name="tiny-smp", n_sockets=1, cores_per_socket=4)
+
+
+@pytest.fixture
+def small_numa():
+    """A 2-domain, 8-core NUMA machine (fast tests)."""
+    return numa_machine(name="tiny-numa", n_domains=2, cores_per_socket=4)
+
+
+@pytest.fixture
+def mem(sim, small_numa) -> MemorySystem:
+    return MemorySystem(sim, small_numa)
+
+
+@pytest.fixture(params=["zoot", "dancer", "saturn", "ig"])
+def paper_machine(request):
+    return {"zoot": zoot, "dancer": dancer, "saturn": saturn, "ig": ig}[request.param]()
+
+
+def make_job(spec_or_name, nprocs, stack) -> Job:
+    machine = Machine.build(spec_or_name)
+    return Job(machine, nprocs=nprocs, stack=stack)
+
+
+@pytest.fixture
+def job_factory():
+    return make_job

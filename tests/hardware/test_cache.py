@@ -1,0 +1,160 @@
+"""Range-accurate cache model: residency, LRU eviction, dirty tracking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareConfigError
+from repro.hardware.cache import CacheDomain, CacheSystem
+from repro.hardware.machines import zoot
+from repro.hardware.spec import CacheSpec
+
+
+def make_domain(capacity=1000):
+    return CacheDomain("test", capacity, bandwidth=1e9, cores=[0, 1])
+
+
+class TestResidency:
+    def test_empty_cache_misses(self):
+        dom = make_domain()
+        assert dom.residency(1, 0, 100) == (0.0, 0.0)
+
+    def test_full_clean_hit(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100)
+        assert dom.residency(1, 0, 100) == (1.0, 0.0)
+
+    def test_dirty_touch_reports_dirty(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100, dirty=True)
+        assert dom.residency(1, 0, 100) == (0.0, 1.0)
+
+    def test_partial_overlap(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100)
+        clean, dirty = dom.residency(1, 50, 100)
+        assert clean == pytest.approx(0.5)
+        assert dirty == 0.0
+
+    def test_disjoint_ranges_do_not_alias(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100)
+        assert dom.residency(1, 200, 100) == (0.0, 0.0)
+
+    def test_separate_buffers_independent(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100)
+        assert dom.residency(2, 0, 100) == (0.0, 0.0)
+
+    def test_clean_touch_overrides_dirty(self):
+        dom = make_domain()
+        dom.touch(1, 0, 100, dirty=True)
+        dom.touch(1, 0, 100, dirty=False)
+        assert dom.residency(1, 0, 100) == (1.0, 0.0)
+
+    def test_streaming_range_keeps_tail(self):
+        dom = make_domain(capacity=100)
+        dom.touch(1, 0, 1000)  # streams 1000 bytes through a 100-byte cache
+        assert dom.used <= 100
+        clean, _ = dom.residency(1, 900, 100)
+        assert clean == pytest.approx(1.0)
+        assert dom.residency(1, 0, 100) == (0.0, 0.0)
+
+
+class TestEviction:
+    def test_lru_buffer_evicted_first(self):
+        dom = make_domain(capacity=100)
+        dom.touch(1, 0, 60)
+        dom.touch(2, 0, 60)  # evicts 20 bytes of buffer 1 (its oldest spans)
+        assert dom.used <= 100
+        assert dom.resident_bytes(2) == 60
+        assert dom.resident_bytes(1) == 40
+
+    def test_touch_refreshes_lru_position(self):
+        dom = make_domain(capacity=100)
+        dom.touch(1, 0, 50)
+        dom.touch(2, 0, 40)
+        dom.touch(1, 50, 10)  # buffer 1 now MRU
+        dom.touch(3, 0, 50)   # evicts from buffer 2 first
+        assert dom.resident_bytes(2) < 40
+        assert dom.resident_bytes(1) == 60 or dom.resident_bytes(3) == 50
+
+    def test_evicted_bytes_counter(self):
+        dom = make_domain(capacity=100)
+        dom.touch(1, 0, 100)
+        dom.touch(2, 0, 100)
+        assert dom.evicted_bytes == 100
+
+    def test_invalidate_removes_buffer(self):
+        dom = make_domain()
+        dom.touch(1, 0, 500)
+        dom.invalidate(1)
+        assert dom.used == 0
+        assert dom.residency(1, 0, 500) == (0.0, 0.0)
+
+    def test_flush_clears_everything(self):
+        dom = make_domain()
+        dom.touch(1, 0, 300)
+        dom.touch(2, 0, 300)
+        dom.flush()
+        assert dom.used == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CacheDomain("bad", 0, 1e9, [0])
+
+
+class TestCacheSystem:
+    def test_zoot_has_pair_domains(self):
+        system = CacheSystem(zoot())
+        assert len(system.domains) == 8  # 16 cores / 2 per L2 pair
+        assert system.domain_of(0) is system.domain_of(1)
+        assert system.domain_of(0) is not system.domain_of(2)
+
+    def test_unknown_core_rejected(self):
+        system = CacheSystem(zoot())
+        with pytest.raises(HardwareConfigError):
+            system.domain_of(99)
+
+
+@given(
+    touches=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4),     # buffer id
+                  st.integers(min_value=0, max_value=900),   # start
+                  st.integers(min_value=1, max_value=400),   # length
+                  st.booleans()),                            # dirty
+        min_size=1, max_size=60,
+    ),
+    capacity=st.integers(min_value=64, max_value=2000),
+)
+@settings(max_examples=120)
+def test_cache_invariants(touches, capacity):
+    """Total residency never exceeds capacity; per-buffer spans stay
+    disjoint; residency fractions are within [0, 1]."""
+    dom = CacheDomain("prop", capacity, 1e9, [0])
+    for buf, start, length, dirty in touches:
+        dom.touch(buf, start, length, dirty=dirty)
+        assert 0 <= dom.used <= capacity
+        # spans of each buffer are disjoint and sorted-merged consistently
+        for ranges in dom._buffers.values():
+            spans = sorted((s, e) for s, e, _d in ranges.spans)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+            assert sum(e - s for s, e in spans) == ranges.total
+        clean, dirty_frac = dom.residency(buf, start, length)
+        assert 0.0 <= clean <= 1.0
+        assert 0.0 <= dirty_frac <= 1.0
+        assert clean + dirty_frac <= 1.0 + 1e-12
+
+
+@given(
+    start=st.integers(min_value=0, max_value=500),
+    length=st.integers(min_value=1, max_value=300),
+)
+@settings(max_examples=60)
+def test_touch_then_query_same_range_hits(start, length):
+    dom = CacheDomain("prop2", 10_000, 1e9, [0])
+    dom.touch(7, start, length)
+    clean, dirty = dom.residency(7, start, length)
+    assert clean == pytest.approx(1.0)
+    assert dirty == 0.0

@@ -1,0 +1,174 @@
+"""Machine specification validation and coordinate helpers."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.machines import dancer, get_machine, ig, numa_machine, saturn, smp_machine, zoot
+from repro.hardware.spec import CacheSpec, CoreSpec, LinkSpec, MachineSpec
+from repro.units import GiB, MiB, gbps
+
+
+class TestPaperMachines:
+    def test_zoot_shape(self):
+        spec = zoot()
+        assert spec.n_cores == 16
+        assert spec.n_sockets == 4
+        assert spec.n_domains == 1
+        assert spec.is_smp
+        assert spec.llc.scope == "pair"
+        assert spec.llc.size == 4 * MiB
+
+    def test_dancer_shape(self):
+        spec = dancer()
+        assert spec.n_cores == 8
+        assert spec.n_domains == 2
+        assert not spec.is_smp
+        assert len(spec.links) == 1
+
+    def test_saturn_shape(self):
+        spec = saturn()
+        assert spec.n_cores == 16
+        assert spec.n_sockets == 2
+        assert spec.cores_per_socket == 8
+        assert spec.llc.size == 18 * MiB
+
+    def test_ig_shape(self):
+        spec = ig()
+        assert spec.n_cores == 48
+        assert spec.n_domains == 8
+        assert spec.n_boards == 2
+        # full mesh per board (6 links x 2) + two bridges
+        assert len(spec.links) == 14
+        bridges = [l for l in spec.links if
+                   spec.socket_board[l.a] != spec.socket_board[l.b]]
+        assert len(bridges) == 2
+
+    def test_ig_moesi(self):
+        assert ig().intervention_writeback == 0.0
+        assert dancer().intervention_writeback == 1.0
+
+    def test_registry(self):
+        assert get_machine("ZOOT").name == "zoot"
+        with pytest.raises(HardwareConfigError):
+            get_machine("nonexistent")
+
+
+class TestCoordinates:
+    def test_core_socket_domain(self):
+        spec = ig()
+        assert spec.core_socket(0) == 0
+        assert spec.core_socket(47) == 7
+        assert spec.core_domain(6) == 1
+        assert spec.core_board(23) == 0
+        assert spec.core_board(24) == 1
+
+    def test_cores_of_domain(self):
+        spec = dancer()
+        assert spec.cores_of_domain(0) == [0, 1, 2, 3]
+        assert spec.cores_of_domain(1) == [4, 5, 6, 7]
+
+    def test_zoot_single_domain_has_all_cores(self):
+        assert zoot().cores_of_domain(0) == list(range(16))
+
+    def test_cache_group_pair(self):
+        spec = zoot()
+        assert spec.cache_group(0, spec.llc) == (0, 1)
+        assert spec.cache_group(5, spec.llc) == (4, 5)
+
+    def test_cache_group_socket(self):
+        spec = saturn()
+        assert spec.cache_group(3, spec.llc) == tuple(range(8))
+        assert spec.cache_group(10, spec.llc) == tuple(range(8, 16))
+
+    def test_out_of_range_core(self):
+        with pytest.raises(HardwareConfigError):
+            zoot().core_socket(16)
+        with pytest.raises(HardwareConfigError):
+            zoot().cores_of_domain(1)
+
+
+class TestValidation:
+    def _base(self, **kw):
+        args = dict(
+            name="m",
+            cores_per_socket=2,
+            socket_domain=(0, 1),
+            socket_board=(0, 0),
+            domain_mem_bandwidth=(gbps(10), gbps(10)),
+            domain_mem_bytes=(GiB, GiB),
+            core=CoreSpec(2.0, gbps(3), gbps(6)),
+            caches=(CacheSpec(3, MiB, "socket", gbps(6)),),
+            links=(LinkSpec(0, 1, gbps(5)),),
+        )
+        args.update(kw)
+        return MachineSpec(**args)
+
+    def test_valid_baseline(self):
+        spec = self._base()
+        assert spec.n_cores == 4
+
+    def test_noncontiguous_domains_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(socket_domain=(0, 2),
+                       domain_mem_bandwidth=(gbps(10),) * 3,
+                       domain_mem_bytes=(GiB,) * 3)
+
+    def test_domain_array_length_mismatch(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(domain_mem_bandwidth=(gbps(10),))
+
+    def test_link_to_unknown_domain(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(links=(LinkSpec(0, 5, gbps(5)),))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            LinkSpec(1, 1, gbps(5))
+
+    def test_pair_cache_needs_even_cores(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(cores_per_socket=3,
+                       caches=(CacheSpec(2, MiB, "pair", gbps(6)),))
+
+    def test_cache_levels_must_increase(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(caches=(CacheSpec(3, MiB, "socket", gbps(6)),
+                               CacheSpec(2, MiB, "pair", gbps(8))))
+
+    def test_cached_bw_below_copy_bw_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CoreSpec(2.0, gbps(5), gbps(3))
+
+    def test_bad_cache_scope(self):
+        with pytest.raises(HardwareConfigError):
+            CacheSpec(3, MiB, "galaxy", gbps(6))
+
+    def test_total_bandwidth_default(self):
+        c = CacheSpec(3, MiB, "socket", gbps(4))
+        assert c.total_bandwidth == pytest.approx(gbps(10))
+
+    def test_intervention_bounds(self):
+        with pytest.raises(HardwareConfigError):
+            self._base(dirty_intervention_efficiency=1.5)
+        with pytest.raises(HardwareConfigError):
+            self._base(intervention_writeback=-0.1)
+
+
+class TestBuilders:
+    def test_smp_machine(self):
+        spec = smp_machine(n_sockets=2, cores_per_socket=4)
+        assert spec.n_domains == 1
+        assert spec.n_cores == 8
+
+    def test_numa_topologies(self):
+        for topo, n_links in (("mesh", 6), ("ring", 4), ("chain", 3)):
+            spec = numa_machine(n_domains=4, topology=topo)
+            assert len(spec.links) == n_links
+
+    def test_numa_needs_two_domains(self):
+        with pytest.raises(HardwareConfigError):
+            numa_machine(n_domains=1)
+
+    def test_unknown_topology(self):
+        with pytest.raises(HardwareConfigError):
+            numa_machine(topology="torus")

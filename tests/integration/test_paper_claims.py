@@ -1,0 +1,134 @@
+"""Shape-level checks of the paper's headline claims, at reduced scale.
+
+These are the claims DESIGN.md commits to reproducing; each test asserts
+the *direction and rough magnitude* at one or two grid points so the suite
+stays fast.  The full grids live in ``benchmarks/`` and ``repro-bench``.
+"""
+
+import pytest
+
+from repro.bench.imb import ImbSettings, imb_time
+from repro.mpi import stacks
+from repro.units import KiB, MiB
+
+FAST = ImbSettings(max_iterations=1)
+
+
+def ratio(machine, nprocs, op, msg, stack, ref=stacks.KNEM_COLL):
+    other = imb_time(machine, stack, nprocs, op, msg, FAST)
+    knem = imb_time(machine, ref, nprocs, op, msg, FAST)
+    return other / knem
+
+
+class TestFigure5Bcast:
+    def test_zoot_beats_sm_stacks(self):
+        assert ratio("zoot", 16, "bcast", 512 * KiB, stacks.TUNED_SM) > 1.3
+        assert ratio("zoot", 16, "bcast", 512 * KiB, stacks.MPICH2_SM) > 1.3
+
+    def test_dancer_beats_all(self):
+        for st in stacks.PAPER_STACKS[:-1]:
+            assert ratio("dancer", 8, "bcast", 512 * KiB, st) > 1.0, st.name
+
+    def test_ig_beats_tuned(self):
+        assert ratio("ig", 48, "bcast", 512 * KiB, stacks.TUNED_SM) > 1.5
+        assert ratio("ig", 48, "bcast", 512 * KiB, stacks.TUNED_KNEM) > 1.3
+
+
+class TestFigure6Gather:
+    @pytest.mark.parametrize("machine,nprocs,floor", [
+        ("zoot", 16, 1.3), ("dancer", 8, 1.5), ("saturn", 16, 1.5),
+        ("ig", 48, 1.5),
+    ])
+    def test_gather_wins_everywhere(self, machine, nprocs, floor):
+        for st in (stacks.TUNED_SM, stacks.MPICH2_SM):
+            assert ratio(machine, nprocs, "gather", 512 * KiB, st) > floor, st.name
+
+    def test_direction_control_is_the_mechanism(self):
+        """Disabling sender-writing erases most of the Gather win."""
+        with_dir = imb_time("zoot", stacks.KNEM_COLL, 16, "gather",
+                            512 * KiB, FAST)
+        without = imb_time("zoot",
+                           stacks.KNEM_COLL.with_tuning(
+                               gather_direction_write=False),
+                           16, "gather", 512 * KiB, FAST)
+        assert without > 1.3 * with_dir
+
+
+class TestFigure4Hierarchy:
+    def test_hierarchy_and_pipeline_shape(self):
+        def t(stack):
+            return imb_time("ig", stack, 48, "bcast", 2 * MiB, FAST)
+
+        pipe = t(stacks.KNEM_COLL)
+        nopipe = t(stacks.KNEM_COLL.with_tuning(pipeline=False))
+        linear = t(stacks.KNEM_COLL.with_tuning(hierarchical=False))
+        # paper: hierarchy alone 2.2-2.4x, pipelining up to 1.25x more
+        assert 1.8 < linear / nopipe < 3.0
+        assert 1.05 < nopipe / pipe < 1.6
+
+    def test_pipeline_size_sweet_spot(self):
+        """4 KB segments are too small (sync overhead); 16 KB better
+        (Figure 4's intermediate-size tuning).  The simulated margin is
+        small (a few percent, vs the paper's pronounced 4 KB penalty), so
+        this pins the *direction* under the same off-cache conditions the
+        Figure 4 bench uses."""
+        cold = ImbSettings(max_iterations=1, warmups=0)
+
+        def t(seg):
+            stack = stacks.KNEM_COLL.with_tuning(
+                pipeline_seg_intermediate=seg, pipeline_seg_large=seg,
+                pipeline_large_at=1 << 62)
+            return imb_time("ig", stack, 48, "bcast", 512 * KiB, cold)
+
+        assert t(4 * KiB) > t(16 * KiB)
+
+
+class TestFigure7Alltoall:
+    def test_beats_sm_on_zoot_and_ig(self):
+        assert ratio("zoot", 16, "alltoallv", 256 * KiB, stacks.TUNED_SM) > 1.2
+        assert ratio("ig", 48, "alltoallv", 128 * KiB, stacks.TUNED_SM) > 1.1
+
+    def test_margin_over_tuned_knem_smaller_than_over_sm(self):
+        """Section VI-D: gains vs Tuned-KNEM are smaller than vs Tuned-SM."""
+        vs_sm = ratio("zoot", 16, "alltoallv", 256 * KiB, stacks.TUNED_SM)
+        vs_knem = ratio("zoot", 16, "alltoallv", 256 * KiB, stacks.TUNED_KNEM)
+        assert vs_knem < vs_sm
+
+
+class TestFigure8Allgather:
+    def test_knem_best_on_zoot(self):
+        for st in (stacks.TUNED_SM, stacks.MPICH2_SM):
+            assert ratio("zoot", 16, "allgather", 256 * KiB, st) > 1.0, st.name
+
+    def test_tuned_knem_wins_on_ig(self):
+        """The paper's own negative result: the gather+bcast assembly loses
+        to Tuned-KNEM's ring on the large NUMA machine."""
+        r = ratio("ig", 48, "allgather", 128 * KiB, stacks.TUNED_KNEM)
+        assert r < 1.0
+
+
+class TestTableOneAsp:
+    def test_ordering_and_compute_calibration(self):
+        from repro.apps.asp import AspConfig, run_asp_timed
+
+        cfg = AspConfig(n=16384, nprocs=16)
+        rows = {}
+        for name, st in (("omp", stacks.TUNED_SM), ("mpich", stacks.MPICH2_SM),
+                         ("knem", stacks.KNEM_COLL)):
+            rows[name] = run_asp_timed("zoot", st, cfg, sample=512)
+        # KNEM-Coll spends the least time broadcasting (Table I's point)
+        assert rows["knem"].bcast_time < rows["omp"].bcast_time
+        assert rows["knem"].bcast_time < rows["mpich"].bcast_time
+        # compute matches the paper's total-minus-bcast ~2485 s within 5%
+        assert rows["knem"].compute_time == pytest.approx(2485.0, rel=0.05)
+        # totals keep the paper's ordering
+        assert rows["knem"].total_time < rows["omp"].total_time
+
+
+class TestRegistrationAmortization:
+    def test_knem_coll_saves_registrations(self):
+        from repro.bench.experiments import ablation_registration
+
+        stats = ablation_registration("dancer")
+        assert (stats["KNEM-Coll"]["registrations"]
+                < stats["Tuned-KNEM"]["registrations"])

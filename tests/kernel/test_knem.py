@@ -1,0 +1,327 @@
+"""KNEM driver: regions, cookies, direction control, partial access, costs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KnemBoundsError, KnemInvalidCookie, KnemPermissionError
+from repro.hardware.machines import dancer
+from repro.hardware.memory import MemorySystem
+from repro.kernel.costs import KernelCosts, PAGE_SIZE
+from repro.kernel.knem import FLAG_DMA, PROT_READ, PROT_WRITE, KnemDriver
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    mem = MemorySystem(sim, dancer())
+    knem = KnemDriver(sim, mem)
+    return sim, mem, knem
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+class TestRegions:
+    def test_register_returns_distinct_cookies(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            c1 = yield from knem.create_region(0, buf, 0, 2048, PROT_READ)
+            c2 = yield from knem.create_region(0, buf, 2048, 2048, PROT_READ)
+            return c1, c2
+
+        c1, c2 = run(sim, body())
+        assert c1 != c2
+        assert knem.live_regions == 2
+
+    def test_destroy_invalidates_cookie(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.destroy_region(0, cookie)
+            try:
+                yield from knem.copy(1, cookie, 0, buf, 0, 64, write=False)
+            except KnemInvalidCookie:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_double_destroy_rejected(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.destroy_region(0, cookie)
+            try:
+                yield from knem.destroy_region(0, cookie)
+            except KnemInvalidCookie:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_forged_cookie_rejected(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            try:
+                yield from knem.copy(0, 0xDEAD, 0, buf, 0, 64, write=False)
+            except KnemInvalidCookie:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+        assert knem.stats_failed_ioctls == 1
+
+    def test_region_outside_buffer_rejected(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(1024, 0)
+
+        def body():
+            try:
+                yield from knem.create_region(0, buf, 512, 1024, PROT_READ)
+            except Exception as e:
+                return type(e).__name__
+            return "allowed"
+
+        assert run(sim, body()) == "SimulationError"
+
+    def test_bad_protection_rejected(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(1024, 0)
+
+        def body():
+            try:
+                yield from knem.create_region(0, buf, 0, 1024, 0)
+            except KnemPermissionError:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_registration_cost_scales_with_pages(self, world):
+        sim, mem, knem = world
+        big = mem.alloc(256 * PAGE_SIZE, 0, backed=False)
+
+        def timed(length):
+            def body():
+                t0 = sim.now
+                cookie = yield from knem.create_region(0, big, 0, length,
+                                                       PROT_READ)
+                dt = sim.now - t0
+                yield from knem.destroy_region(0, cookie)
+                return dt
+            return run(sim, body())
+
+        t_small = timed(PAGE_SIZE)
+        t_big = timed(256 * PAGE_SIZE)
+        costs = knem.costs
+        assert t_big - t_small == pytest.approx(255 * costs.page_pin)
+
+
+class TestDirectionControl:
+    def test_read_region_rejects_write(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            try:
+                yield from knem.copy(4, cookie, 0, local, 0, 4096, write=True)
+            except KnemPermissionError:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_write_region_rejects_read(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_WRITE)
+            try:
+                yield from knem.copy(4, cookie, 0, local, 0, 4096, write=False)
+            except KnemPermissionError:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_rw_region_allows_both(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+        local.data[:] = 9
+
+        def body():
+            cookie = yield from knem.create_region(
+                0, buf, 0, 4096, PROT_READ | PROT_WRITE)
+            yield from knem.copy(4, cookie, 0, local, 0, 4096, write=True)
+            yield from knem.copy(4, cookie, 0, local, 0, 4096, write=False)
+
+        run(sim, body())
+        assert (buf.data == 9).all()
+
+    def test_write_moves_data_into_region(self, world):
+        sim, mem, knem = world
+        target = mem.alloc(1024, 0)
+        src = mem.alloc(1024, 1)
+        src.data[:] = np.arange(1024, dtype=np.uint8) % 251
+
+        def body():
+            cookie = yield from knem.create_region(0, target, 0, 1024,
+                                                   PROT_WRITE)
+            yield from knem.copy(4, cookie, 0, src, 0, 1024, write=True)
+            yield from knem.destroy_region(0, cookie)
+
+        run(sim, body())
+        assert (target.data == src.data).all()
+
+
+class TestPartialAccess:
+    def test_offset_copy_reads_correct_slice(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        buf.data[:] = np.arange(4096, dtype=np.uint8) % 251
+        local = mem.alloc(1024, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.copy(4, cookie, 1024, local, 0, 1024, write=False)
+
+        run(sim, body())
+        assert (local.data == buf.data[1024:2048]).all()
+
+    def test_region_offset_applies_to_sub_buffer_region(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        buf.data[:] = np.arange(4096, dtype=np.uint8) % 251
+        local = mem.alloc(256, 1)
+
+        def body():
+            # region covers buf[1024:3072]; region offset 256 = buf[1280]
+            cookie = yield from knem.create_region(0, buf, 1024, 2048,
+                                                   PROT_READ)
+            yield from knem.copy(4, cookie, 256, local, 0, 256, write=False)
+
+        run(sim, body())
+        assert (local.data == buf.data[1280:1536]).all()
+
+    def test_out_of_region_bounds_rejected(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 2048, PROT_READ)
+            try:
+                yield from knem.copy(4, cookie, 1024, local, 0, 2048,
+                                     write=False)
+            except KnemBoundsError:
+                return "rejected"
+            return "allowed"
+
+        assert run(sim, body()) == "rejected"
+
+    def test_concurrent_partial_readers(self, world):
+        """Multiple processes reading disjoint parts of one region — the
+        granularity feature the collective component relies on."""
+        sim, mem, knem = world
+        buf = mem.alloc(8192, 0)
+        buf.data[:] = np.arange(8192, dtype=np.uint8) % 251
+        outs = [mem.alloc(2048, 1) for _ in range(4)]
+        cookie_holder = {}
+
+        def owner():
+            cookie_holder["c"] = yield from knem.create_region(
+                0, buf, 0, 8192, PROT_READ)
+
+        def reader(i):
+            while "c" not in cookie_holder:
+                yield sim.timeout(1e-7)
+            yield from knem.copy(4 + 0, cookie_holder["c"], i * 2048,
+                                 outs[i], 0, 2048, write=False)
+
+        sim.process(owner())
+        for i in range(4):
+            sim.process(reader(i))
+        sim.run()
+        for i in range(4):
+            assert (outs[i].data == buf.data[i * 2048:(i + 1) * 2048]).all()
+
+
+class TestAsyncAndDma:
+    def test_icopy_returns_event(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            ev = knem.icopy(4, cookie, 0, local, 0, 4096, write=False)
+            assert not ev.triggered
+            yield ev
+
+        run(sim, body())
+
+    def test_dma_flag_uses_dma_engine(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(64 * 1024, 0)
+        buf.data[:] = 5
+        local = mem.alloc(64 * 1024, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 64 * 1024,
+                                                   PROT_READ)
+            yield from knem.copy(4, cookie, 0, local, 0, 64 * 1024,
+                                 write=False, flags=FLAG_DMA)
+
+        run(sim, body())
+        assert (local.data == 5).all()
+
+    def test_submit_time_includes_dma_setup(self, world):
+        _sim, _mem, knem = world
+        assert knem.submit_time(FLAG_DMA) > knem.submit_time(0)
+
+
+class TestStatistics:
+    def test_counters(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.copy(4, cookie, 0, local, 0, 4096, write=False)
+            yield from knem.copy(5, cookie, 0, local, 0, 2048, write=False)
+            yield from knem.destroy_region(0, cookie)
+
+        run(sim, body())
+        assert knem.stats_registrations == 1
+        assert knem.stats_deregistrations == 1
+        assert knem.stats_copies == 2
+        assert knem.stats_bytes == 6144
+
+
+class TestKernelCosts:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(Exception):
+            KernelCosts(syscall=-1.0)
+
+    def test_pin_time_monotone(self):
+        c = KernelCosts()
+        assert c.pin_time(PAGE_SIZE) < c.pin_time(10 * PAGE_SIZE)
+        assert c.unpin_time(0) == 0.0

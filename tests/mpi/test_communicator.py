@@ -1,0 +1,148 @@
+"""Communicator management: split, dup, rank translation, validation."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import Job, Machine, stacks
+
+
+def run(program, nprocs=8, machine="dancer", stack=stacks.TUNED_SM):
+    job = Job(Machine.build(machine), nprocs=nprocs, stack=stack)
+    return job.run(program)
+
+
+class TestBasics:
+    def test_world_layout(self):
+        def program(proc):
+            if False:
+                yield
+            assert proc.comm.world_rank(proc.rank) == proc.rank
+            return (proc.comm.size, proc.comm.rank, proc.comm.core_of(3))
+
+        res = run(program)
+        assert all(v == (8, r, 3) for r, v in enumerate(res.values))
+
+    def test_rank_validation(self):
+        def program(proc):
+            if False:
+                yield
+            with pytest.raises(CommunicatorError):
+                proc.comm.world_rank(8)
+            with pytest.raises(CommunicatorError):
+                proc.comm.isend(99, proc.alloc(8), 0, 8)
+            return True
+
+        res = run(program)
+        assert all(res.values)
+
+    def test_v_variant_length_validation(self):
+        def program(proc):
+            buf = proc.alloc(64)
+            try:
+                yield from proc.comm.gatherv(buf, buf, [8, 8], [0, 8], root=0)
+            except CommunicatorError:
+                return "rejected"
+            return "accepted"
+
+        res = run(program, nprocs=4)
+        assert all(v == "rejected" for v in res.values)
+
+
+class TestSplit:
+    def test_split_even_odd(self):
+        def program(proc):
+            sub = yield from proc.comm.split(color=proc.rank % 2)
+            return (sub.rank, sub.size, sub.cid)
+
+        res = run(program)
+        evens = [res.values[r] for r in range(0, 8, 2)]
+        odds = [res.values[r] for r in range(1, 8, 2)]
+        assert [v[0] for v in evens] == [0, 1, 2, 3]
+        assert [v[0] for v in odds] == [0, 1, 2, 3]
+        assert all(v[1] == 4 for v in res.values)
+        assert evens[0][2] != odds[0][2]
+        assert len({v[2] for v in evens}) == 1
+
+    def test_split_with_key_reorders(self):
+        def program(proc):
+            sub = yield from proc.comm.split(color=0, key=-proc.rank)
+            return sub.rank
+
+        res = run(program, nprocs=4)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_split_undefined_color(self):
+        def program(proc):
+            sub = yield from proc.comm.split(
+                color=None if proc.rank == 0 else 1)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        res = run(program, nprocs=4)
+        assert res.values[0] == "excluded"
+        assert res.values[1:] == [3, 3, 3]
+
+    def test_split_comm_is_usable(self):
+        def program(proc):
+            sub = yield from proc.comm.split(color=proc.rank // 4)
+            buf = proc.alloc_array(1024, "u1")
+            if sub.rank == 0:
+                buf.array[:] = 100 + proc.rank
+            yield from sub.bcast(buf.sim, 0, 1024, root=0)
+            return int(buf.array[0])
+
+        res = run(program)
+        assert res.values[:4] == [100] * 4
+        assert res.values[4:] == [104] * 4
+
+    def test_dup_preserves_layout_new_context(self):
+        def program(proc):
+            dup = yield from proc.comm.dup()
+            assert dup.rank == proc.comm.rank
+            assert dup.size == proc.comm.size
+            return dup.cid != proc.comm.cid
+
+        res = run(program, nprocs=4)
+        assert all(res.values)
+
+    def test_messages_do_not_cross_communicators(self):
+        def program(proc):
+            dup = yield from proc.comm.dup()
+            if proc.rank == 0:
+                yield from proc.comm.send_obj(1, "world", tag=5)
+                yield from dup.send_obj(1, "dup", tag=5)
+                return None
+            obj_dup, _ = yield from dup.recv_obj(0, tag=5)
+            obj_world, _ = yield from proc.comm.recv_obj(0, tag=5)
+            return (obj_world, obj_dup)
+
+        res = run(program, nprocs=2)
+        assert res.values[1] == ("world", "dup")
+
+
+class TestCollectiveSequencing:
+    def test_back_to_back_collectives_isolated(self):
+        """Consecutive collectives must not steal each other's messages."""
+        def program(proc):
+            out = []
+            for round_no in range(3):
+                buf = proc.alloc_array(2048, "u1")
+                if proc.rank == round_no:
+                    buf.array[:] = round_no + 1
+                yield from proc.comm.bcast(buf.sim, 0, 2048, root=round_no)
+                out.append(int(buf.array[0]))
+            return out
+
+        res = run(program, nprocs=4)
+        assert all(v == [1, 2, 3] for v in res.values)
+
+    def test_barrier_synchronizes(self):
+        def program(proc):
+            yield proc.compute(proc.rank * 1e-4)
+            yield from proc.comm.barrier()
+            return proc.now
+
+        res = run(program, nprocs=8)
+        latest_arrival = 7 * 1e-4
+        assert all(t >= latest_arrival for t in res.values)

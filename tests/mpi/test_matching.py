@@ -1,0 +1,100 @@
+"""Matching-engine semantics (MPI ordering rules)."""
+
+from repro.mpi.envelope import EAGER, Envelope
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG, MatchEngine, PostedRecv
+from repro.mpi.status import Request
+from repro.simtime import Simulator
+
+
+def env(src=0, tag=0, nbytes=8, cid=1):
+    return Envelope(kind=EAGER, cid=cid, src=src, tag=tag, nbytes=nbytes)
+
+
+def posted(source=ANY_SOURCE, tag=ANY_TAG):
+    sim = Simulator()
+    return PostedRecv(source, tag, None, 0, 0, Request(sim, "recv"))
+
+
+class TestArrivalPath:
+    def test_unmatched_goes_unexpected(self):
+        eng = MatchEngine()
+        assert eng.incoming(env()) is None
+        assert eng.unexpected_count == 1
+
+    def test_matches_oldest_posted(self):
+        eng = MatchEngine()
+        first = posted(source=0, tag=5)
+        second = posted(source=0, tag=5)
+        eng.post(first)
+        eng.post(second)
+        assert eng.incoming(env(src=0, tag=5)) is first
+        assert eng.incoming(env(src=0, tag=5)) is second
+
+    def test_source_filter(self):
+        eng = MatchEngine()
+        r = posted(source=3, tag=ANY_TAG)
+        eng.post(r)
+        assert eng.incoming(env(src=2)) is None
+        assert eng.incoming(env(src=3)) is r
+
+    def test_tag_filter(self):
+        eng = MatchEngine()
+        r = posted(source=ANY_SOURCE, tag="x")
+        eng.post(r)
+        assert eng.incoming(env(tag="y")) is None
+        assert eng.incoming(env(tag="x")) is r
+
+    def test_tuple_tags(self):
+        eng = MatchEngine()
+        r = posted(tag=("coll", 3, 1))
+        eng.post(r)
+        assert eng.incoming(env(tag=("coll", 3, 0))) is None
+        assert eng.incoming(env(tag=("coll", 3, 1))) is r
+
+    def test_skips_nonmatching_posted(self):
+        eng = MatchEngine()
+        narrow = posted(source=1, tag=9)
+        wide = posted(source=ANY_SOURCE, tag=ANY_TAG)
+        eng.post(narrow)
+        eng.post(wide)
+        assert eng.incoming(env(src=0, tag=0)) is wide
+        assert eng.posted_count == 1
+
+
+class TestPostPath:
+    def test_matches_oldest_unexpected(self):
+        eng = MatchEngine()
+        e1, e2 = env(tag=7), env(tag=7)
+        eng.incoming(e1)
+        eng.incoming(e2)
+        assert eng.post(posted(tag=7)) is e1
+        assert eng.post(posted(tag=7)) is e2
+        assert eng.idle()
+
+    def test_wildcard_source_takes_first_arrival(self):
+        eng = MatchEngine()
+        ea, eb = env(src=2, tag=0), env(src=1, tag=0)
+        eng.incoming(ea)
+        eng.incoming(eb)
+        assert eng.post(posted(source=ANY_SOURCE, tag=0)) is ea
+
+    def test_nonovertaking_same_source_tag(self):
+        """Messages from one sender with one tag match receives in order."""
+        eng = MatchEngine()
+        envs = [env(src=0, tag=1) for _ in range(5)]
+        for e in envs[:3]:
+            eng.incoming(e)
+        got = [eng.post(posted(source=0, tag=1)) for _ in range(3)]
+        assert got == envs[:3]
+        recvs = [posted(source=0, tag=1), posted(source=0, tag=1)]
+        for r in recvs:
+            eng.post(r)
+        assert eng.incoming(envs[3]) is recvs[0]
+        assert eng.incoming(envs[4]) is recvs[1]
+
+    def test_counters(self):
+        eng = MatchEngine()
+        eng.incoming(env())
+        eng.post(posted())
+        assert eng.matched == 1
+        assert eng.idle()

@@ -1,0 +1,157 @@
+"""Event loop semantics: ordering, triggering, failure propagation."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simtime import Event, Simulator, Timeout
+
+
+class TestEvent:
+    def test_pending_until_triggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callbacks_run_in_registration_order(self, sim):
+        ev = sim.event()
+        order = []
+        ev.add_callback(lambda e: order.append(1))
+        ev.add_callback(lambda e: order.append(2))
+        ev.succeed()
+        sim.run()
+        assert order == [1, 2]
+
+    def test_late_callback_still_fires(self, sim):
+        ev = sim.event().succeed("v")
+        sim.run()
+        assert ev.processed
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["v"]
+
+    def test_unwaited_failure_surfaces(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("lost"))
+        with pytest.raises(ValueError, match="lost"):
+            sim.run()
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        times = []
+        t = Timeout(sim, 2.5)
+        t.add_callback(lambda e: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Timeout(sim, -1.0)
+
+    def test_value_passthrough(self, sim):
+        t = sim.timeout(1.0, value="payload")
+        got = []
+        t.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["payload"]
+
+    def test_zero_delay_allowed(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed
+        assert sim.now == 0.0
+
+
+class TestSimulator:
+    def test_same_time_fifo_order(self, sim):
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_interleaved_times(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_run_until_stops_clock(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert not fired
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+    def test_step_empty_queue_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_deadlock_detection_names_blocked_process(self, sim):
+        def stuck():
+            yield sim.event()  # never triggered
+
+        sim.process(stuck(), name="stuck-proc")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        assert "stuck-proc" in str(exc.value)
+
+    def test_daemon_does_not_deadlock(self, sim):
+        def daemon():
+            yield sim.event()
+
+        sim.process(daemon(), name="bg", daemon=True)
+        sim.run()  # no DeadlockError
+
+    def test_queue_size_tracks_pending(self, sim):
+        assert sim.queue_size == 0
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        assert sim.queue_size == 2
+        sim.run()
+        assert sim.queue_size == 0

@@ -1,0 +1,81 @@
+"""Property-based tests of the event engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime import Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                 allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_equal_times_preserve_scheduling_order(delays):
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(delays):
+        sim.schedule(round(d, 1), lambda i=i: fired.append(i))
+    sim.run()
+    # Among equal timestamps, indices must appear in scheduling order.
+    by_time: dict[float, list[int]] = {}
+    for i, d in enumerate(delays):
+        by_time.setdefault(round(d, 1), []).append(i)
+    pos = {idx: p for p, idx in enumerate(fired)}
+    for group in by_time.values():
+        assert sorted(group, key=lambda i: pos[i]) == group
+
+
+@given(segments=st.lists(st.floats(min_value=1e-9, max_value=100.0,
+                                   allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_sequential_waits_sum_exactly(segments):
+    sim = Simulator()
+    end = []
+
+    def body():
+        for s in segments:
+            yield sim.timeout(s)
+        end.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    expected = 0.0
+    for s in segments:
+        expected += s
+    assert abs(end[0] - expected) < 1e-9 * max(1.0, expected)
+
+
+@given(n=st.integers(min_value=1, max_value=40))
+@settings(max_examples=30)
+def test_n_process_barrier_latch(n):
+    from repro.simtime import CountdownLatch
+
+    sim = Simulator()
+    latch = CountdownLatch(sim, n)
+    done = []
+
+    def worker(i):
+        yield sim.timeout(float(i))
+        latch.arrive()
+        yield latch.wait()
+        done.append(sim.now)
+
+    for i in range(n):
+        sim.process(worker(i))
+    sim.run()
+    assert len(done) == n
+    assert all(t == float(n - 1) for t in done)

@@ -1,0 +1,40 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_kernel_family():
+    assert issubclass(errors.KnemInvalidCookie, errors.KnemError)
+    assert issubclass(errors.KnemPermissionError, errors.KnemError)
+    assert issubclass(errors.KnemBoundsError, errors.KnemError)
+    assert issubclass(errors.KnemError, errors.KernelError)
+    assert issubclass(errors.ShmError, errors.KernelError)
+
+
+def test_mpi_family():
+    assert issubclass(errors.TruncationError, errors.MpiError)
+    assert issubclass(errors.CommunicatorError, errors.MpiError)
+    assert issubclass(errors.CollectiveError, errors.MpiError)
+
+
+def test_deadlock_error_carries_blocked_names():
+    e = errors.DeadlockError(["rank3", "rank1"])
+    assert e.blocked == ["rank3", "rank1"]
+    assert "rank3" in str(e)
+
+
+def test_routing_is_hardware_config():
+    assert issubclass(errors.RoutingError, errors.HardwareConfigError)
+
+
+def test_catching_base_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.KnemBoundsError("x")

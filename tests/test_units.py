@@ -1,0 +1,81 @@
+"""Unit helpers and the tracer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simtime.trace import Tracer
+from repro.units import (
+    KiB,
+    MiB,
+    fmt_bandwidth,
+    fmt_size,
+    fmt_time,
+    gbps,
+    parse_size,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("64K", 64 * KiB), ("1M", MiB), ("8M", 8 * MiB), ("512", 512),
+        ("2KiB", 2 * KiB), ("1.5K", 1536), ("4kb", 4 * KiB), (4096, 4096),
+    ])
+    def test_examples(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+    @given(n=st.integers(min_value=0, max_value=1 << 40))
+    def test_fmt_parse_roundtrip(self, n):
+        assert parse_size(fmt_size(n)) == n
+
+
+class TestFormatting:
+    def test_fmt_size_paper_axis_labels(self):
+        assert fmt_size(32 * KiB) == "32K"
+        assert fmt_size(8 * MiB) == "8M"
+        assert fmt_size(1000) == "1000"
+
+    def test_fmt_time_units(self):
+        assert fmt_time(0) == "0s"
+        assert "ns" in fmt_time(5e-9)
+        assert "us" in fmt_time(3.2e-6)
+        assert "ms" in fmt_time(4e-3)
+        assert fmt_time(2.0) == "2.000s"
+
+    def test_bandwidth(self):
+        assert fmt_bandwidth(gbps(2.5)) == "2.50GB/s"
+        assert gbps(1.0) == 1e9
+
+
+class TestTracer:
+    def test_counters_always_on(self):
+        t = Tracer()
+        t.emit("copy", nbytes=4)
+        t.emit("copy", nbytes=8)
+        assert t.count("copy") == 2
+        assert t.records == []  # disabled: no record bodies
+
+    def test_records_when_enabled(self):
+        clock = iter([1.0, 2.0])
+        t = Tracer(clock=lambda: next(clock), enabled=True)
+        t.emit("a", x=1)
+        t.emit("b", x=2)
+        assert [r.time for r in t.records] == [1.0, 2.0]
+        assert list(t.select("a"))[0].x == 1
+
+    def test_record_attr_error(self):
+        t = Tracer(enabled=True)
+        t.emit("a", x=1)
+        rec = t.records[0]
+        with pytest.raises(AttributeError):
+            _ = rec.missing
+
+    def test_reset(self):
+        t = Tracer(enabled=True)
+        t.emit("a")
+        t.reset()
+        assert t.count("a") == 0 and not t.records

@@ -1,0 +1,83 @@
+"""Topology tree construction and queries."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.machines import dancer, ig, zoot
+from repro.topology.objects import Topology, TopologyObject
+
+
+class TestTree:
+    def test_zoot_tree_shape(self):
+        topo = Topology(zoot())
+        assert topo.root.type == "machine"
+        assert len(topo.objects("board")) == 1
+        assert len(topo.objects("socket")) == 4
+        assert len(topo.objects("cache")) == 8   # L2 per pair
+        assert len(topo.objects("core")) == 16
+
+    def test_ig_tree_shape(self):
+        topo = Topology(ig())
+        assert len(topo.objects("board")) == 2
+        assert len(topo.objects("socket")) == 8
+        assert len(topo.objects("cache")) == 8   # one L3 per socket
+        assert len(topo.objects("core")) == 48
+
+    def test_core_lookup(self):
+        topo = Topology(dancer())
+        core = topo.core(5)
+        assert core.type == "core"
+        assert core.index == 5
+        assert core.attrs["domain"] == 1
+
+    def test_core_out_of_range(self):
+        with pytest.raises(HardwareConfigError):
+            Topology(dancer()).core(8)
+
+    def test_cpusets_partition_at_each_depth(self):
+        topo = Topology(ig())
+        for obj_type in ("board", "socket", "cache"):
+            cores = []
+            for obj in topo.objects(obj_type):
+                cores.extend(obj.cpuset)
+            assert sorted(cores) == list(range(48))
+
+    def test_parent_child_links(self):
+        topo = Topology(dancer())
+        core = topo.core(0)
+        ancestors = [a.type for a in core.ancestors()]
+        assert ancestors == ["cache", "socket", "board", "machine"]
+
+    def test_walk_preorder(self):
+        topo = Topology(dancer())
+        seen = [o.type for o in topo.root.walk()]
+        assert seen[0] == "machine"
+        assert seen.count("core") == 8
+
+    def test_common_ancestor_same_socket(self):
+        topo = Topology(dancer())
+        anc = topo.common_ancestor(0, 3)
+        assert anc.type == "cache"  # shared L3
+
+    def test_common_ancestor_cross_socket(self):
+        topo = Topology(dancer())
+        anc = topo.common_ancestor(0, 7)
+        assert anc.type == "board"
+
+    def test_common_ancestor_cross_board(self):
+        topo = Topology(ig())
+        anc = topo.common_ancestor(0, 47)
+        assert anc.type == "machine"
+
+    def test_common_ancestor_self(self):
+        topo = Topology(dancer())
+        assert topo.common_ancestor(2, 2).type == "core"
+
+    def test_render_mentions_all_cores(self):
+        text = Topology(dancer()).render()
+        for c in range(8):
+            assert f"core {c}" in text
+
+    def test_invalid_object_type_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            TopologyObject("galaxy", 0, (0,))
