@@ -1,0 +1,3 @@
+"""Root pytest configuration: load the schedule-analysis plugin."""
+
+pytest_plugins = ["repro.analysis.pytest_plugin"]

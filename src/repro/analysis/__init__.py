@@ -1,0 +1,52 @@
+"""Trace-driven schedule analysis for the KNEM collective stacks.
+
+The analyzer consumes the :class:`~repro.simtime.trace.Tracer` event stream
+of a traced run and checks the properties the paper's design leans on:
+
+- ``race`` — vector-clock happens-before race detection over KNEM copies
+  and collective local copies (:mod:`repro.analysis.races`);
+- ``cookie`` — region lifecycle lint: use-after-deregister, double
+  destroy, out-of-band cookie visibility, overlapping registrations,
+  leaks (:mod:`repro.analysis.cookies`);
+- ``direction`` — direction-control verification against each algorithm's
+  declared strategy, plus a static AST scan of the collective sources
+  (:mod:`repro.analysis.direction`);
+- ``deadlock`` — wait-for-graph reconstruction and cycle naming when a run
+  dies with :class:`~repro.errors.DeadlockError`
+  (:mod:`repro.analysis.deadlock`).
+
+Entry points: ``python -m repro.analysis`` (CLI), :func:`run_analysis`
+(programmatic), and the ``analyze_schedule`` pytest marker
+(:mod:`repro.analysis.pytest_plugin`).
+"""
+
+from repro.analysis.direction import DirectionSpec, static_scan
+from repro.analysis.findings import (
+    ERROR,
+    WARNING,
+    Finding,
+    Report,
+    checker_names,
+    run_checkers,
+)
+from repro.analysis.model import TraceModel, build_model
+from repro.analysis.runner import ALGOS, AlgoSpec, algo_names, run_analysis
+from repro.analysis.vectorclock import VectorClock
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Report",
+    "checker_names",
+    "run_checkers",
+    "TraceModel",
+    "build_model",
+    "VectorClock",
+    "DirectionSpec",
+    "static_scan",
+    "ALGOS",
+    "AlgoSpec",
+    "algo_names",
+    "run_analysis",
+]

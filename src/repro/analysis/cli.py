@@ -1,0 +1,112 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis --algo knem_bcast --machine zoot
+    python -m repro.analysis --algo knem_gather --machine ig --nprocs 12
+    python -m repro.analysis --all --machine zoot
+    python -m repro.analysis --static
+    python -m repro.analysis --list
+
+Exit status: 0 when every analyzed schedule is clean, 2 when any checker
+reported a finding (or a run failed outright) and on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.direction import static_scan
+from repro.analysis.findings import Report, checker_names
+from repro.analysis.runner import ALGOS, algo_names, run_analysis
+from repro.hardware.machines import MACHINES
+from repro.units import KiB
+
+__all__ = ["main"]
+
+
+def _parse_size(text: str) -> int:
+    """Parse ``65536``, ``64K``/``64KiB``, ``1M``/``1MiB``."""
+    t = text.strip().upper().removesuffix("IB").removesuffix("B")
+    factor = 1
+    if t.endswith("K"):
+        factor, t = 1024, t[:-1]
+    elif t.endswith("M"):
+        factor, t = 1024 * 1024, t[:-1]
+    try:
+        return int(t) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+
+
+def _print_listing() -> None:
+    print("algos:")
+    for name in algo_names():
+        print(f"  {name:20s} {ALGOS[name].description}")
+    print("checkers:")
+    for name in checker_names():
+        print(f"  {name}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Analyze KNEM collective schedules for races, cookie "
+                    "lifecycle bugs, direction-control mistakes, and "
+                    "deadlocks.",
+    )
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument("--algo", choices=algo_names(),
+                      help="analyze one registered schedule")
+    what.add_argument("--all", action="store_true",
+                      help="analyze every registered schedule (smoke run)")
+    what.add_argument("--static", action="store_true",
+                      help="AST-scan collective sources for direction "
+                           "mismatches (no simulation)")
+    what.add_argument("--list", action="store_true",
+                      help="list registered algos and checkers")
+    parser.add_argument("--machine", choices=sorted(MACHINES),
+                        default="zoot", help="machine spec (default: zoot)")
+    parser.add_argument("--nprocs", type=int, default=None,
+                        help="ranks to launch (default: min(8, cores))")
+    parser.add_argument("--size", type=_parse_size, default=None,
+                        help="per-rank message size, e.g. 64K or 1M "
+                             "(default: per-algo)")
+    parser.add_argument("--checkers", default=None,
+                        help="comma-separated checker subset "
+                             f"(default: all of {','.join(checker_names())})")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_listing()
+        return 0
+
+    if args.static:
+        findings = static_scan()
+        report = Report(subject="static scan of src/repro/coll",
+                        findings=findings)
+        print(report.render())
+        return 2 if findings else 0
+
+    checkers = args.checkers.split(",") if args.checkers else None
+    if checkers:
+        unknown = sorted(set(checkers) - set(checker_names()))
+        if unknown:
+            parser.error(f"unknown checker(s): {', '.join(unknown)} "
+                         f"(available: {','.join(checker_names())})")
+    names = algo_names() if args.all else [args.algo]
+    dirty = False
+    for name in names:
+        report = run_analysis(name, machine=args.machine,
+                              nprocs=args.nprocs, nbytes=args.size,
+                              checkers=checkers)
+        print(report.render())
+        print()
+        dirty = dirty or bool(report.findings) or bool(report.error)
+    return 2 if dirty else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Cookie-lifecycle lint for KNEM regions.
+
+Checks, per registered region:
+
+- **use-after-deregister** — a copy against a cookie that the driver already
+  rejected (``knem.fail`` with ``KnemInvalidCookie``), or a copy that
+  succeeded but is vector-clock *concurrent* with the deregistration (the
+  schedule only got away with it because of event ordering luck);
+- **double-destroy** — deregistering a cookie that is not live;
+- **out-of-band visibility** — a copy by a rank other than the owner whose
+  clock does not include the registration: the cookie reached the copier
+  without any traced synchronization, i.e. it was guessed, cached from an
+  earlier collective, or leaked through an untraced channel;
+- **overlapping registration** — two simultaneously-live regions covering
+  overlapping byte ranges of one buffer (legal in the real driver, but in
+  these schedules it means two collectives disagree about buffer ownership);
+- **leaked regions** — registrations never deregistered by the end of the
+  run (pinned pages held forever; the paper's persistent-region cache does
+  this deliberately, a schedule under test should not).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import ERROR, WARNING, Finding, register_checker
+from repro.analysis.model import Region, TraceModel
+from repro.analysis.vectorclock import VectorClock
+
+__all__ = ["check_cookies"]
+
+
+def _regions_overlap(a: Region, b: Region) -> bool:
+    if a.buf != b.buf or not a.length or not b.length:
+        return False
+    if not (a.offset < b.end and b.offset < a.end):
+        return False
+    # Live intervals in stream order: [reg_index, dereg_index or inf).
+    a_end = a.dereg_index if a.dereg_index is not None else float("inf")
+    b_end = b.dereg_index if b.dereg_index is not None else float("inf")
+    return a.reg_index < b_end and b.reg_index < a_end
+
+
+@register_checker("cookie")
+def check_cookies(model: TraceModel) -> Iterator[Finding]:
+    # Failed ioctls recorded by the driver.
+    for fail in model.failures:
+        if fail.error != "KnemInvalidCookie":
+            continue
+        cookie = fail.fields.get("cookie")
+        where = f"cookie {cookie:#x}" if cookie is not None else "a cookie"
+        if fail.op == "copy":
+            yield Finding(
+                checker="cookie", category="use-after-deregister",
+                severity=ERROR, rank=fail.rank,
+                message=(f"copy through {where} rejected by the driver: the "
+                         f"region was already deregistered"),
+                details=dict(fail.fields, index=fail.index),
+            )
+        elif fail.op == "destroy":
+            yield Finding(
+                checker="cookie", category="double-destroy",
+                severity=ERROR, rank=fail.rank,
+                message=f"deregistration of {where} which is not live",
+                details=dict(fail.fields, index=fail.index),
+            )
+
+    regions = sorted(model.regions.values(), key=lambda r: r.reg_index)
+    for region in regions:
+        for use in region.uses:
+            # Copies concurrent with (or HB-after) the deregistration: the
+            # driver accepted them only because the events happened to land
+            # in a benign order.
+            if (region.dereg_vc is not None and use.vc is not None
+                    and region.dereg_rank is not None
+                    and use.rank is not None
+                    and not VectorClock.ordered(use.vc, use.rank,
+                                                region.dereg_vc,
+                                                region.dereg_rank)):
+                yield Finding(
+                    checker="cookie", category="deregister-race",
+                    severity=ERROR, rank=use.rank,
+                    message=(f"copy through cookie {region.cookie:#x} by "
+                             f"rank {use.rank} is concurrent with its "
+                             f"deregistration by rank {region.dereg_rank} — "
+                             f"no happens-before edge orders the copy "
+                             f"before the destroy"),
+                    details={"cookie": region.cookie, "copy": use.index,
+                             "deregister": region.dereg_index},
+                )
+            # Out-of-band visibility: a non-owner copier must have joined
+            # the owner's clock at (or after) the registration tick.
+            if (use.rank is not None and region.owner_rank is not None
+                    and use.rank != region.owner_rank
+                    and use.vc is not None and region.reg_vc is not None
+                    and not region.reg_vc.leq(use.vc)):
+                yield Finding(
+                    checker="cookie", category="cookie-not-visible",
+                    severity=ERROR, rank=use.rank,
+                    message=(f"rank {use.rank} copied through cookie "
+                             f"{region.cookie:#x} before rank "
+                             f"{region.owner_rank}'s registration was "
+                             f"visible to it (the cookie arrived through "
+                             f"an unsynchronized channel)"),
+                    details={"cookie": region.cookie, "copy": use.index,
+                             "register": region.reg_index},
+                )
+
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            if _regions_overlap(a, b):
+                yield Finding(
+                    checker="cookie", category="overlapping-registration",
+                    severity=WARNING, rank=b.owner_rank,
+                    message=(f"cookie {b.cookie:#x} registers "
+                             f"buf#{b.buf}[{b.offset}:{b.end}) while cookie "
+                             f"{a.cookie:#x} covering "
+                             f"[{a.offset}:{a.end}) is still live"),
+                    details={"first": a.cookie, "second": b.cookie,
+                             "buf": a.buf},
+                )
+
+    leaked = [r for r in regions if r.leaked]
+    for region in leaked:
+        yield Finding(
+            checker="cookie", category="leaked-region",
+            severity=WARNING, rank=region.owner_rank,
+            message=(f"cookie {region.cookie:#x} "
+                     f"({region.buf_label or f'buf#{region.buf}'}, "
+                     f"{region.length}B) was never deregistered — the pages "
+                     f"stay pinned past the end of the run"),
+            details={"cookie": region.cookie, "register": region.reg_index},
+        )

@@ -1,0 +1,218 @@
+"""Direction-control checking: do copies match the declared strategy?
+
+The paper's Section III direction control is the contract under test: a
+*receiver-reading* schedule registers regions ``PROT_READ`` and every peer
+pulls (``write=False``); a *sender-writing* schedule (Gather) registers the
+root's receive buffer ``PROT_WRITE`` and every peer pushes.  Two layers:
+
+- **trace checks** (:func:`check_direction`, registered as ``direction``):
+  protection violations the driver rejected, over-permissive registrations,
+  copies whose direction contradicts the algorithm's declared
+  :class:`DirectionSpec`, and the root-serialization anti-pattern — a
+  schedule declared concurrent whose cross-rank copies are all issued by a
+  single core (the bottleneck direction control exists to remove);
+- **static checks** (:func:`static_scan`): an AST walk over collective
+  sources pairing ``create_region`` protection flags with ``knem.copy``
+  directions *within each function* — catching a mismatched schedule
+  without running it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.analysis.findings import ERROR, WARNING, Finding, register_checker
+from repro.analysis.model import TraceModel
+from repro.kernel.knem import PROT_READ, PROT_WRITE
+
+__all__ = ["DirectionSpec", "check_direction", "static_scan"]
+
+#: Direction names for a copy (write flag) and a protection mask.
+_DIR_NAME = {False: "receiver-reading", True: "sender-writing"}
+
+
+@dataclass(frozen=True)
+class DirectionSpec:
+    """An algorithm's declared direction-control contract.
+
+    ``direction`` is ``"read"`` (all cross-rank copies receiver-reading),
+    ``"write"`` (all sender-writing), or ``"mixed"`` (composed schedules
+    like AllGather = Gather + Bcast; per-copy direction is not checked).
+    ``concurrent`` declares that cross-rank copies are expected to be
+    spread over several issuing cores — the root-serialization check only
+    fires for specs that declare it.
+    """
+
+    direction: str = "mixed"
+    concurrent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("read", "write", "mixed"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+@register_checker("direction")
+def check_direction(model: TraceModel) -> Iterator[Finding]:
+    # Copies the driver rejected for wrong direction.
+    for fail in model.failures:
+        if fail.op == "copy" and fail.error == "KnemPermissionError":
+            want = _DIR_NAME[bool(fail.fields.get("write"))]
+            yield Finding(
+                checker="direction", category="protection-violation",
+                severity=ERROR, rank=fail.rank,
+                message=(f"a {want} copy was rejected: the region's "
+                         f"protection flags do not allow that direction"),
+                details=dict(fail.fields, index=fail.index),
+            )
+
+    for region in sorted(model.regions.values(), key=lambda r: r.reg_index):
+        used = {use.write for use in region.uses}
+        if region.prot == (PROT_READ | PROT_WRITE) and len(used) < 2:
+            how = (_DIR_NAME[used.pop()] + " only") if used else "never"
+            yield Finding(
+                checker="direction", category="over-permissive-region",
+                severity=WARNING, rank=region.owner_rank,
+                message=(f"cookie {region.cookie:#x} is registered "
+                         f"read+write but used {how}: grant only the "
+                         f"direction the schedule needs"),
+                details={"cookie": region.cookie, "prot": region.prot},
+            )
+
+    spec: Optional[DirectionSpec] = model.direction_spec
+    if spec is None:
+        return
+
+    # Cross-rank copies: a rank moving data through a peer's region.
+    cross = [(region, use)
+             for region in model.regions.values()
+             for use in region.uses
+             if use.rank is not None and use.rank != region.owner_rank]
+    if spec.direction in ("read", "write"):
+        want_write = spec.direction == "write"
+        for region, use in sorted(cross, key=lambda ru: ru[1].index):
+            if use.write != want_write:
+                yield Finding(
+                    checker="direction", category="direction-mismatch",
+                    severity=ERROR, rank=use.rank,
+                    message=(f"schedule declares {_DIR_NAME[want_write]} "
+                             f"but rank {use.rank}'s copy through cookie "
+                             f"{region.cookie:#x} is "
+                             f"{_DIR_NAME[use.write]}"),
+                    details={"cookie": region.cookie, "copy": use.index},
+                )
+    if spec.concurrent and len(cross) >= 2:
+        issuers = {use.rank for _region, use in cross}
+        if len(issuers) == 1:
+            only = next(iter(issuers))
+            yield Finding(
+                checker="direction", category="root-serialization",
+                severity=WARNING, rank=only,
+                message=(f"schedule declares concurrent copies but all "
+                         f"{len(cross)} cross-rank copies were issued by "
+                         f"rank {only}'s core — the schedule serializes on "
+                         f"one core instead of using direction control"),
+                details={"rank": only, "copies": len(cross)},
+            )
+
+
+# ---------------------------------------------------------------- static ----
+
+def _prot_of(node: ast.expr) -> Optional[int]:
+    """Evaluate a protection-flag expression (names, |, int literals)."""
+    if isinstance(node, ast.Name):
+        return {"PROT_READ": PROT_READ, "PROT_WRITE": PROT_WRITE}.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return {"PROT_READ": PROT_READ, "PROT_WRITE": PROT_WRITE}.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left, right = _prot_of(node.left), _prot_of(node.right)
+        if left is not None and right is not None:
+            return left | right
+    return None
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Collects region protections and copy directions inside one function."""
+
+    def __init__(self) -> None:
+        self.prots: list[tuple[int, int]] = []    # (lineno, prot mask)
+        self.writes: list[tuple[int, bool]] = []  # (lineno, write flag)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are scanned as their own scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name == "create_region":
+            prot_node: Optional[ast.expr] = node.args[-1] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "prot":
+                    prot_node = kw.value
+            prot = _prot_of(prot_node) if prot_node is not None else None
+            if prot is not None:
+                self.prots.append((node.lineno, prot))
+        elif name in ("copy", "icopy"):
+            for kw in node.keywords:
+                if kw.arg == "write" and isinstance(kw.value, ast.Constant):
+                    self.writes.append((node.lineno, bool(kw.value.value)))
+        self.generic_visit(node)
+
+
+def _scan_function(path: Path, func: ast.FunctionDef) -> Iterator[Finding]:
+    scan = _FunctionScan()
+    for stmt in func.body:
+        scan.visit(stmt)
+    if not scan.prots or not scan.writes:
+        return
+    mask = 0
+    for _line, prot in scan.prots:
+        mask |= prot
+    for line, write in scan.writes:
+        needed = PROT_WRITE if write else PROT_READ
+        if not mask & needed:
+            granted = " | ".join(
+                n for n, bit in (("PROT_READ", PROT_READ),
+                                 ("PROT_WRITE", PROT_WRITE)) if mask & bit
+            ) or "nothing"
+            yield Finding(
+                checker="direction", category="static-direction-mismatch",
+                severity=ERROR,
+                message=(f"{path.name}:{line} in {func.name}(): "
+                         f"{_DIR_NAME[write]} copy (write={write}) but the "
+                         f"function only registers regions with {granted}"),
+                details={"file": str(path), "function": func.name,
+                         "line": line},
+            )
+
+
+def static_scan(paths: "list[Path | str] | None" = None) -> list[Finding]:
+    """AST-scan collective sources for direction mismatches.
+
+    Defaults to every module in ``src/repro/coll/`` next to this package.
+    """
+    if paths is None:
+        coll_dir = Path(__file__).resolve().parent.parent / "coll"
+        paths = sorted(coll_dir.glob("*.py"))
+    findings: list[Finding] = []
+    for path in paths:
+        path = Path(path)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(_scan_function(path, node))
+    return findings

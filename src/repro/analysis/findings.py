@@ -1,0 +1,129 @@
+"""Findings, reports, and the checker registry.
+
+Every checker consumes a :class:`~repro.analysis.model.TraceModel` and
+yields :class:`Finding` objects.  Checkers register themselves with
+:func:`register_checker`, so the runner, the CLI, and the pytest plugin all
+see the same set without hand-maintained lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.model import TraceModel
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Report",
+    "register_checker",
+    "checker_names",
+    "get_checker",
+    "run_checkers",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured analyzer finding.
+
+    ``checker`` names the pass that produced it (``race``, ``cookie``,
+    ``direction``, ``deadlock``); ``category`` is a stable machine-readable
+    slug within that pass (e.g. ``write-write-race``).
+    """
+
+    checker: str
+    category: str
+    severity: str
+    message: str
+    rank: int | None = None
+    details: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        where = f" [rank {self.rank}]" if self.rank is not None else ""
+        return f"{self.severity.upper():7s} {self.checker}/{self.category}{where}: {self.message}"
+
+
+@dataclass
+class Report:
+    """The outcome of analyzing one run: findings plus run metadata."""
+
+    subject: str
+    findings: list[Finding]
+    machine: str = ""
+    nprocs: int = 0
+    nbytes: int = 0
+    error: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def by_checker(self, name: str) -> list[Finding]:
+        return [f for f in self.findings if f.checker == name]
+
+    def render(self) -> str:
+        head = f"analysis: {self.subject}"
+        if self.machine:
+            head += f" on {self.machine} ({self.nprocs} ranks, {self.nbytes}B)"
+        lines = [head, "-" * len(head)]
+        if self.error:
+            lines.append(f"run raised: {self.error}")
+        if not self.findings and not self.error:
+            lines.append("clean: no findings")
+        for f in self.findings:
+            lines.append(f.render())
+        return "\n".join(lines)
+
+
+#: name -> checker callable(model) -> Iterable[Finding]
+_CHECKERS: dict[str, Callable[["TraceModel"], Iterable[Finding]]] = {}
+
+
+def register_checker(name: str):
+    """Decorator adding a trace checker to the registry."""
+
+    def wrap(fn: Callable[["TraceModel"], Iterable[Finding]]):
+        _CHECKERS[name] = fn
+        fn.checker_name = name  # type: ignore[attr-defined]
+        return fn
+
+    return wrap
+
+
+def checker_names() -> list[str]:
+    return sorted(_CHECKERS)
+
+
+def get_checker(name: str) -> Callable[["TraceModel"], Iterable[Finding]]:
+    try:
+        return _CHECKERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown checker {name!r}; available: {checker_names()}"
+        ) from None
+
+
+def run_checkers(model: "TraceModel",
+                 checkers: Iterable[str] | None = None) -> list[Finding]:
+    """Run the named checkers (default: all registered) over one model."""
+    names = list(checkers) if checkers is not None else checker_names()
+    findings: list[Finding] = []
+    for name in names:
+        findings.extend(get_checker(name)(model))
+    return findings
+
+
+def iter_findings(findings: Iterable[Finding]) -> Iterator[str]:  # pragma: no cover
+    for f in findings:
+        yield f.render()

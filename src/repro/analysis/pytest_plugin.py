@@ -1,0 +1,78 @@
+"""Pytest integration: analyze traced schedules behind a marker.
+
+Opt a test in with one decorator::
+
+    @pytest.mark.analyze_schedule
+    def test_bcast(job_factory):
+        job = job_factory("zoot", 8, KNEM_COLL)
+        job.run(program, args)
+
+While the marker is active, every :class:`~repro.mpi.runtime.Job` created
+by the test forces tracing on its machine, each ``run()`` records the slice
+of trace it produced, and at teardown all registered checkers run over each
+slice — the test fails if any checker reports a finding.
+
+Marker options::
+
+    @pytest.mark.analyze_schedule(checkers=["race", "cookie"],
+                                  direction=DirectionSpec("read", True))
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.findings import run_checkers
+from repro.analysis.model import build_model
+from repro.mpi.runtime import Job
+
+__all__ = ["pytest_configure"]
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "analyze_schedule(checkers=None, direction=None): trace every Job "
+        "the test runs and fail on analyzer findings",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _schedule_analysis(request, monkeypatch):
+    marker = request.node.get_closest_marker("analyze_schedule")
+    if marker is None:
+        yield
+        return
+    checkers = marker.kwargs.get("checkers")
+    direction = marker.kwargs.get("direction")
+    runs: list[tuple[Job, int, int]] = []
+
+    orig_init = Job.__init__
+    orig_run = Job.run
+
+    def traced_init(self, machine, *args, **kwargs):
+        machine.tracer.enabled = True
+        orig_init(self, machine, *args, **kwargs)
+
+    def traced_run(self, program, *args):
+        start = len(self.machine.tracer.records)
+        try:
+            return orig_run(self, program, *args)
+        finally:
+            runs.append((self, start, len(self.machine.tracer.records)))
+
+    monkeypatch.setattr(Job, "__init__", traced_init)
+    monkeypatch.setattr(Job, "run", traced_run)
+    yield
+    findings = []
+    for job, start, end in runs:
+        model = build_model(job,
+                            records=job.machine.tracer.records[start:end],
+                            direction_spec=direction)
+        findings.extend(run_checkers(model, checkers))
+    if findings:
+        pytest.fail(
+            "schedule analysis found issues:\n"
+            + "\n".join(f.render() for f in findings),
+            pytrace=False,
+        )

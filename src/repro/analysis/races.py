@@ -1,0 +1,63 @@
+"""Data-race detection over traced buffer accesses.
+
+Two accesses race when they come from different ranks, touch overlapping
+byte ranges of the same :class:`~repro.hardware.memory.SimBuffer`, at least
+one writes, and their vector-clock snapshots are concurrent (neither
+happens-before the other through the message-layer edges).
+
+Scope: in-kernel KNEM copies and the collectives' explicit ``coll-local``
+copies.  Transport-internal copies (FIFO fragments, eager staging) are
+excluded — their buffers are recycled under semaphore protection the trace
+does not model, which would read as false write/write races.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import ERROR, Finding, register_checker
+from repro.analysis.model import Access, TraceModel
+
+__all__ = ["check_races"]
+
+#: Cap on reported races per buffer — a broken schedule races everywhere,
+#: and one finding per overlapping pair buries the signal.
+_MAX_PER_BUFFER = 8
+
+
+def _race_category(a: Access, b: Access) -> str:
+    return "write-write-race" if a.write and b.write else "read-write-race"
+
+
+@register_checker("race")
+def check_races(model: TraceModel) -> Iterator[Finding]:
+    for buf, accesses in sorted(model.accesses_by_buffer().items()):
+        reported = 0
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if a.rank == b.rank:
+                    continue
+                if not (a.write or b.write):
+                    continue
+                if not a.overlaps(b):
+                    continue
+                if not model.concurrent(a, b):
+                    continue
+                lo = max(a.start, b.start)
+                hi = min(a.end, b.end)
+                yield Finding(
+                    checker="race",
+                    category=_race_category(a, b),
+                    severity=ERROR,
+                    message=(f"{a.describe()} is concurrent with "
+                             f"{b.describe()} (overlap [{lo}:{hi}) of "
+                             f"buf#{buf}, no happens-before edge)"),
+                    rank=a.rank,
+                    details={"buf": buf, "overlap": (lo, hi),
+                             "first": a.index, "second": b.index},
+                )
+                reported += 1
+                if reported >= _MAX_PER_BUFFER:
+                    break
+            if reported >= _MAX_PER_BUFFER:
+                break

@@ -35,12 +35,34 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while simulated processes were still blocked."""
+    """The event queue drained while simulated processes were still blocked.
 
-    def __init__(self, blocked: list[str]):
+    ``blocked`` lists the non-daemon process names (sorted by the simulator
+    for determinism); ``waiting`` optionally maps each blocked process name
+    to the name of the event it was waiting on; ``pending_events`` counts
+    the distinct untriggered events the blocked processes wait on.
+    """
+
+    def __init__(self, blocked: list[str],
+                 waiting: "dict[str, str] | None" = None,
+                 pending_events: int = 0):
         self.blocked = list(blocked)
-        detail = ", ".join(blocked) if blocked else "<unknown>"
-        super().__init__(f"simulation deadlock; blocked processes: {detail}")
+        self.waiting = dict(waiting) if waiting else {}
+        self.pending_events = pending_events
+        if self.waiting:
+            detail = ", ".join(
+                f"{name} (waiting on {self.waiting.get(name) or '<unknown event>'})"
+                for name in self.blocked
+            )
+            msg = (
+                f"simulation deadlock: {len(self.blocked)} blocked "
+                f"process(es): {detail}; {pending_events} distinct pending "
+                f"event(s)"
+            )
+        else:
+            detail = ", ".join(self.blocked) if self.blocked else "<unknown>"
+            msg = f"simulation deadlock; blocked processes: {detail}"
+        super().__init__(msg)
 
 
 class HardwareConfigError(ReproError):

@@ -348,4 +348,8 @@ class MemorySystem:
             nbytes=req.nbytes,
             kernel=req.kernel,
             label=req.label,
+            src_buf=req.src.id,
+            src_off=req.src_off,
+            dst_buf=req.dst.id,
+            dst_off=req.dst_off,
         )

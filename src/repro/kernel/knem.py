@@ -58,6 +58,9 @@ class KnemRegion:
         self.alive = True
 
     def check(self, offset: int, nbytes: int, want_prot: int) -> None:
+        # Liveness is checked FIRST and unconditionally: a dead cookie must
+        # always surface as KnemInvalidCookie, never as a permission or
+        # bounds error, no matter which partial offset the copy names.
         if not self.alive:
             raise KnemInvalidCookie(f"cookie {self.cookie:#x} already destroyed")
         if not self.prot & want_prot:
@@ -96,19 +99,25 @@ class KnemDriver:
         """Register ``buffer[offset:offset+length]``; yields cost, returns cookie."""
         if prot & ~(PROT_READ | PROT_WRITE) or prot == 0:
             self.stats_failed_ioctls += 1
+            self.tracer.emit("knem.fail", core=core, op="register",
+                             error="KnemPermissionError")
             yield self.sim.timeout(self.costs.syscall)
             raise KnemPermissionError(f"bad protection flags {prot:#x}")
         try:
             buffer.check_range(offset, length)
-        except Exception:
+        except Exception as exc:
             self.stats_failed_ioctls += 1
+            self.tracer.emit("knem.fail", core=core, op="register",
+                             error=type(exc).__name__)
             yield self.sim.timeout(self.costs.syscall)
             raise
         yield self.sim.timeout(self.costs.syscall + self.costs.pin_time(length))
         cookie = next(self._cookie_seq)
         self._regions[cookie] = KnemRegion(cookie, core, buffer, offset, length, prot)
         self.stats_registrations += 1
-        self.tracer.emit("knem.register", core=core, cookie=cookie, length=length, prot=prot)
+        self.tracer.emit("knem.register", core=core, cookie=cookie,
+                         length=length, prot=prot, buf=buffer.id,
+                         buf_label=buffer.label, offset=offset)
         return cookie
 
     def destroy_region(self, core: int, cookie: int):
@@ -116,19 +125,25 @@ class KnemDriver:
         region = self._regions.pop(cookie, None)
         if region is None or not region.alive:
             self.stats_failed_ioctls += 1
+            self.tracer.emit("knem.fail", core=core, cookie=cookie,
+                             op="destroy", error="KnemInvalidCookie")
             yield self.sim.timeout(self.costs.syscall)
             raise KnemInvalidCookie(f"cookie {cookie:#x} is not a live region")
+        # The region dies at ioctl entry, before the unpin cost is charged:
+        # emit the trace event at the kill point so analyzers see copies
+        # attempted after this instant as use-after-deregister.
         region.alive = False
         self.stats_deregistrations += 1
+        self.tracer.emit("knem.deregister", core=core, cookie=cookie,
+                         buf=region.buffer.id)
         yield self.sim.timeout(self.costs.syscall + self.costs.unpin_time(region.length))
-        self.tracer.emit("knem.deregister", core=core, cookie=cookie)
 
     def region(self, cookie: int) -> KnemRegion:
         """Kernel-internal lookup (no cost); raises on dead cookies."""
-        try:
-            return self._regions[cookie]
-        except KeyError:
-            raise KnemInvalidCookie(f"cookie {cookie:#x} is not a live region") from None
+        region = self._regions.get(cookie)
+        if region is None or not region.alive:
+            raise KnemInvalidCookie(f"cookie {cookie:#x} is not a live region")
+        return region
 
     # -- copies -------------------------------------------------------------
     def icopy(
@@ -163,6 +178,9 @@ class KnemDriver:
         self.tracer.emit(
             "knem.copy", core=core, cookie=cookie, nbytes=nbytes,
             write=write, dma=bool(flags & FLAG_DMA),
+            region_buf=region.buffer.id,
+            region_start=region.offset + region_offset,
+            local_buf=local.id, local_start=local_offset,
         )
         if flags & FLAG_DMA:
             return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes, label="knem-dma")
@@ -184,8 +202,11 @@ class KnemDriver:
         try:
             done = self.icopy(core, cookie, region_offset, local, local_offset,
                               nbytes, write, flags)
-        except Exception:
+        except Exception as exc:
             self.stats_failed_ioctls += 1
+            self.tracer.emit("knem.fail", core=core, cookie=cookie, op="copy",
+                             error=type(exc).__name__, write=write,
+                             nbytes=nbytes)
             yield self.sim.timeout(self.costs.syscall)
             raise
         setup = self.costs.syscall + self.costs.copy_setup

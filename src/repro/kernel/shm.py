@@ -25,6 +25,7 @@ from repro.hardware.spec import MachineSpec
 from repro.kernel.costs import KernelCosts
 from repro.simtime.core import Event, Simulator
 from repro.simtime.primitives import Channel, Semaphore
+from repro.simtime.trace import Tracer
 from repro.units import NS
 
 __all__ = ["mailbox_latency", "Mailbox", "FifoSegment", "ShmWorld"]
@@ -60,18 +61,22 @@ class Mailbox:
     """
 
     def __init__(self, sim: Simulator, spec: MachineSpec, owner_core: int,
-                 costs: KernelCosts, name: str = "mbox"):
+                 costs: KernelCosts, name: str = "mbox",
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.spec = spec
         self.owner_core = owner_core
         self.costs = costs
         self.name = name
+        self.tracer = tracer or Tracer()
         self._channel = Channel(sim, name=name)
         self.posted = 0
 
     def post(self, sender_core: int, payload: Any):
         """Sender-side deposit; generator (``yield from``), returns None."""
         self.posted += 1
+        self.tracer.emit("shm.post", box=self.name, src_core=sender_core,
+                         dst_core=self.owner_core)
         yield self.sim.timeout(self.costs.mailbox_write)
         delay = mailbox_latency(self.spec, sender_core, self.owner_core)
         self.sim.schedule(delay, lambda: self._channel.put(payload))
@@ -79,6 +84,8 @@ class Mailbox:
     def post_nowait(self, sender_core: int, payload: Any) -> None:
         """Fire-and-forget variant for completion callbacks (no sender cost)."""
         self.posted += 1
+        self.tracer.emit("shm.post", box=self.name, src_core=sender_core,
+                         dst_core=self.owner_core)
         delay = self.costs.mailbox_write + mailbox_latency(
             self.spec, sender_core, self.owner_core
         )
@@ -112,12 +119,15 @@ class FifoSegment:
         fragment_size: int,
         n_slots: int,
         name: str = "fifo",
+        tracer: Optional[Tracer] = None,
     ):
         if fragment_size <= 0 or n_slots <= 0:
             raise ShmError("fragment size and slot count must be positive")
         self.mem = mem
         self.spec = spec
         self.costs = costs
+        self.tracer = tracer or mem.tracer
+        self.name = name
         self.sender_core = sender_core
         self.receiver_core = receiver_core
         self.fragment_size = fragment_size
@@ -145,6 +155,9 @@ class FifoSegment:
 
     def publish(self, slot: int, nbytes: int, meta: Any = None) -> None:
         """Sender side: make a filled slot visible to the receiver."""
+        self.tracer.emit("shm.fifo_publish", fifo=self.name, slot=slot,
+                         nbytes=nbytes, src_core=self.sender_core,
+                         dst_core=self.receiver_core)
         delay = self.costs.mailbox_write + mailbox_latency(
             self.spec, self.sender_core, self.receiver_core
         )
@@ -177,7 +190,8 @@ class ShmWorld:
         """Get-or-create the mailbox named ``key`` owned by ``owner_core``."""
         box = self._mailboxes.get(key)
         if box is None:
-            box = Mailbox(self.sim, self.spec, owner_core, self.costs, name=f"mbox:{key}")
+            box = Mailbox(self.sim, self.spec, owner_core, self.costs,
+                          name=f"mbox:{key}", tracer=self.mem.tracer)
             self._mailboxes[key] = box
         elif box.owner_core != owner_core:
             raise ShmError(f"mailbox {key!r} already owned by core {box.owner_core}")

@@ -51,6 +51,9 @@ class Envelope:
     region_offset: int = 0
     #: True when payload is a Python object rather than buffer bytes
     is_object: bool = False
+    #: happens-before token: pairs the sender's ``mpi.send`` trace record
+    #: with the receiver's ``mpi.recv`` record (see repro.analysis)
+    hb: int = -1
 
     def matches(self, source: int, tag: Any, any_source: int, any_tag: Any) -> bool:
         if source != any_source and source != self.src:

@@ -27,6 +27,7 @@ KNEM-Coll bypasses this layer for data movement exactly like the real one.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Optional, TYPE_CHECKING
 
 import numpy as np
@@ -47,6 +48,10 @@ _NO_OBJECT = object()
 
 #: Nominal wire size charged for an object-mode (control) message.
 OBJECT_NBYTES = 8
+
+#: Happens-before tokens pairing ``mpi.send``/``mpi.recv`` trace records
+#: (one per point-to-point message, machine-wide).
+_hb_seq = itertools.count(1)
 
 
 class PmlEndpoint:
@@ -110,21 +115,28 @@ class PmlEndpoint:
 
         The per-destination ordering ticket is taken *here*, synchronously,
         so calls made in program order inject envelopes in program order
-        even when the protocols themselves run concurrently (isend).
+        even when the protocols themselves run concurrently (isend).  The
+        ``mpi.send`` happens-before trace record is emitted here too, so it
+        lands at the *call site* in the sender's program order (isend
+        protocols run later, as child processes).
         """
         ticket = self._take_ticket(dest_world)
+        hb = next(_hb_seq)
+        self.machine.tracer.emit("mpi.send", src=self.proc.rank,
+                                 dst=dest_world, hb=hb)
         return self._send_impl(ticket, cid, src_rank, dest_world, tag, buf,
-                               offset, nbytes, obj)
+                               offset, nbytes, obj, hb)
 
     def _send_impl(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
-                   nbytes, obj):
+                   nbytes, obj, hb):
         """Blocking send (generator).  Object mode when ``obj`` is given."""
         self.sent_messages += 1
         if obj is not _NO_OBJECT:
             yield self.sim.timeout(self.stack.sw_send_eager)
             yield from self._send_inline(ticket, cid, src_rank, dest_world,
                                          tag, OBJECT_NBYTES, obj,
-                                         is_object=True)
+                                         is_object=True, hb=hb)
+            self._emit_send_done(hb)
             return
         if buf is None:
             raise MpiError("buffer send requires a SimBuffer")
@@ -138,35 +150,45 @@ class PmlEndpoint:
             if buf.backed:
                 payload = bytes(buf.data[offset: offset + nbytes])
             yield from self._send_inline(ticket, cid, src_rank, dest_world,
-                                         tag, nbytes, payload, is_object=False)
+                                         tag, nbytes, payload, is_object=False,
+                                         hb=hb)
         elif nbytes <= self.stack.eager_limit:
             yield from self._send_eager(ticket, cid, src_rank, dest_world,
-                                        tag, buf, offset, nbytes)
+                                        tag, buf, offset, nbytes, hb)
         elif self.stack.use_knem_btl and nbytes >= self.stack.knem_threshold:
             yield from self._send_knem(ticket, cid, src_rank, dest_world,
-                                       tag, buf, offset, nbytes)
+                                       tag, buf, offset, nbytes, hb)
         else:
             yield from self._send_sm(ticket, cid, src_rank, dest_world, tag,
-                                     buf, offset, nbytes)
+                                     buf, offset, nbytes, hb)
+        self._emit_send_done(hb)
+
+    def _emit_send_done(self, hb: int) -> None:
+        self.machine.tracer.emit("mpi.send_done", src=self.proc.rank, hb=hb)
 
     def _post_ordered(self, ticket, peer: "PmlEndpoint", env: Envelope):
         """Post the envelope once every earlier send to this peer posted."""
         prev, mine = ticket
         if prev is not None and not prev.processed:
             yield prev
+        # HB edge payload: the envelope carries the sender's history up to
+        # this instant — notably a KNEM region registered by the protocol
+        # *after* the call-site ``mpi.send`` record (the cookie rides in this
+        # very envelope, so it is visible to the matching receiver).
+        self.machine.tracer.emit("mpi.inject", src=self.proc.rank, hb=env.hb)
         yield from peer.mailbox.post(self.proc.core, env)
         mine.succeed(None)
 
     def _send_inline(self, ticket, cid, src_rank, dest_world, tag, nbytes,
-                     payload, is_object):
+                     payload, is_object, hb=-1):
         env = Envelope(kind=EAGER, cid=cid, src=src_rank, tag=tag,
                        nbytes=nbytes, payload=payload, reply_to=self.proc.rank,
-                       is_object=is_object)
+                       is_object=is_object, hb=hb)
         peer = self.world.endpoint(dest_world)
         yield from self._post_ordered(ticket, peer, env)
 
     def _send_eager(self, ticket, cid, src_rank, dest_world, tag, buf,
-                    offset, nbytes):
+                    offset, nbytes, hb=-1):
         peer = self.world.endpoint(dest_world)
         temp = self.machine.mem.alloc(
             nbytes,
@@ -177,11 +199,12 @@ class PmlEndpoint:
         yield from self._cpu_copy(lambda: self.machine.mem.copy(
             self.proc.core, buf, offset, temp, 0, nbytes, label="eager-in"))
         env = Envelope(kind=EAGER, cid=cid, src=src_rank, tag=tag,
-                       nbytes=nbytes, carrier=temp, reply_to=self.proc.rank)
+                       nbytes=nbytes, carrier=temp, reply_to=self.proc.rank,
+                       hb=hb)
         yield from self._post_ordered(ticket, peer, env)
 
     def _send_sm(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
-                 nbytes):
+                 nbytes, hb=-1):
         peer = self.world.endpoint(dest_world)
         fifo = self.machine.shm.fifo(
             self.proc.core, peer.proc.core,
@@ -193,7 +216,8 @@ class PmlEndpoint:
         yield fifo.tx_lock.acquire()
         try:
             env = Envelope(kind=RTS_SM, cid=cid, src=src_rank, tag=tag,
-                           nbytes=nbytes, carrier=fifo, reply_to=self.proc.rank)
+                           nbytes=nbytes, carrier=fifo, reply_to=self.proc.rank,
+                           hb=hb)
             fin = self.sim.event(name=f"fin:{env.seq}")
             self._fin_waiters[env.seq] = fin
             yield from self._post_ordered(ticket, peer, env)
@@ -215,12 +239,13 @@ class PmlEndpoint:
             fifo.tx_lock.release()
 
     def _send_knem(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
-                   nbytes):
+                   nbytes, hb=-1):
         knem = self.machine.knem
         cookie = yield from knem.create_region(self.proc.core, buf, offset,
                                                nbytes, PROT_READ)
         env = Envelope(kind=RTS_KNEM, cid=cid, src=src_rank, tag=tag,
-                       nbytes=nbytes, payload=cookie, reply_to=self.proc.rank)
+                       nbytes=nbytes, payload=cookie, reply_to=self.proc.rank,
+                       hb=hb)
         fin = self.sim.event(name=f"fin:{env.seq}")
         self._fin_waiters[env.seq] = fin
         peer = self.world.endpoint(dest_world)
@@ -248,6 +273,10 @@ class PmlEndpoint:
                   want_object=False) -> Request:
         """Non-blocking receive post; returns the request."""
         req = Request(self.sim, "recv")
+        src_world = (None if source == ANY_SOURCE
+                     else self.world.comm_world_rank(cid, source))
+        self.machine.tracer.emit("mpi.recv_post", rank=self.proc.rank,
+                                 src=src_world, req=req.id)
         posted = PostedRecv(source, tag, buf, offset, nbytes, req, want_object)
         engine = self.engines.setdefault(cid, MatchEngine())
         env = engine.post(posted)
@@ -276,6 +305,10 @@ class PmlEndpoint:
                 waiter = self._fin_waiters.pop(env.payload, None)
                 if waiter is None:
                     raise MpiError(f"unmatched FIN for send seq {env.payload}")
+                # HB edge: the receiver's copy completion happens-before
+                # anything the sender does after its blocking send returns.
+                self.machine.tracer.emit("mpi.fin_recv", rank=self.proc.rank,
+                                         seq=env.payload)
                 waiter.succeed(None)
                 continue
             engine = self.engines.setdefault(env.cid, MatchEngine())
@@ -287,6 +320,13 @@ class PmlEndpoint:
     def _deliver(self, env: Envelope, posted: PostedRecv):
         """Receiver-side data movement for one matched message."""
         self.received_messages += 1
+        # The HB join is recorded at *match* time: the envelope (and with it
+        # any out-of-band cookie) has reached this rank, so everything the
+        # sender did before `mpi.send` is now visible here — including to
+        # the in-kernel copy this delivery may be about to perform.
+        self.machine.tracer.emit("mpi.recv", rank=self.proc.rank,
+                                 src_comm=env.src, hb=env.hb,
+                                 req=posted.request.id)
         if not env.is_object and posted.buf is not None and env.nbytes > posted.nbytes:
             exc = TruncationError(
                 f"rank {self.proc.rank}: incoming {env.nbytes}B message "
@@ -338,6 +378,8 @@ class PmlEndpoint:
         posted.request._finish(status)
 
     def _send_fin(self, env: Envelope) -> None:
+        self.machine.tracer.emit("mpi.fin_send", rank=self.proc.rank,
+                                 seq=env.seq)
         fin = make_fin(env.cid, env.src, env.seq)
         sender = self.world.endpoint(env.reply_to)
         sender.mailbox.post_nowait(self.proc.core, fin)

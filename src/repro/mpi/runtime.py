@@ -173,6 +173,17 @@ class World:
         self._cid_counter += 1
         return self._cid_counter
 
+    def comm_world_rank(self, cid: int, rank: int) -> Optional[int]:
+        """Translate a communicator rank to a world rank (trace/diagnostics).
+
+        Returns ``None`` when the communicator or rank is unknown — callers
+        use this for best-effort reporting, never for routing.
+        """
+        shared = self._comms.get(cid)
+        if shared is None or not 0 <= rank < shared.size:
+            return None
+        return shared.world_ranks[rank]
+
     def get_or_create_comm(self, cid: int, world_ranks: list[int]) -> CommShared:
         shared = self._comms.get(cid)
         if shared is None:

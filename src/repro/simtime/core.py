@@ -223,9 +223,29 @@ class Simulator:
         if until is not None:
             self.now = until
             return
-        blocked = [p.name for p in self._live_processes.values() if not p.daemon]
-        if blocked:
-            raise DeadlockError(sorted(blocked))
+        blocked_procs = sorted(
+            (p for p in self._live_processes.values() if not p.daemon),
+            key=lambda p: p.name,
+        )
+        if blocked_procs:
+            # Deterministic diagnostics: names are sorted, every process
+            # reports the event it is parked on, and the count of distinct
+            # pending events is included (see repro.analysis.deadlock for
+            # wait-for-graph reconstruction on top of this).
+            waiting = {}
+            pending_ids = set()
+            for p in blocked_procs:
+                target = p.waiting_on
+                if target is None:
+                    waiting[p.name] = ""
+                else:
+                    waiting[p.name] = target.name or type(target).__name__
+                    pending_ids.add(id(target))
+            raise DeadlockError(
+                [p.name for p in blocked_procs],
+                waiting=waiting,
+                pending_events=len(pending_ids),
+            )
 
     @property
     def queue_size(self) -> int:

@@ -269,3 +269,17 @@ def _allgather_prog(proc, nbytes):
     send = proc.alloc(nbytes, backed=False)
     recv = proc.alloc(nbytes * proc.comm.size, backed=False)
     yield from proc.comm.allgather(send, recv, nbytes)
+
+
+class TestScheduleAnalysis:
+    """One decorator opts a collective test into full trace analysis: the
+    plugin forces tracing, then fails the test on any race, cookie
+    lifecycle, or direction finding (see repro.analysis.pytest_plugin)."""
+
+    @pytest.mark.analyze_schedule
+    def test_bcast_schedule_analyzed_clean(self):
+        run_on("zoot", 8, stacks.KNEM_COLL, bcast_prog, 256 * KiB)
+
+    @pytest.mark.analyze_schedule(checkers=["race", "cookie"])
+    def test_gather_schedule_analyzed_clean(self):
+        run_on("zoot", 8, stacks.KNEM_COLL, gather_prog, 256 * KiB)

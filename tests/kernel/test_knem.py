@@ -9,6 +9,7 @@ from repro.hardware.memory import MemorySystem
 from repro.kernel.costs import KernelCosts, PAGE_SIZE
 from repro.kernel.knem import FLAG_DMA, PROT_READ, PROT_WRITE, KnemDriver
 from repro.simtime import Simulator
+from repro.simtime.trace import Tracer
 
 
 @pytest.fixture
@@ -314,6 +315,117 @@ class TestStatistics:
         assert knem.stats_deregistrations == 1
         assert knem.stats_copies == 2
         assert knem.stats_bytes == 6144
+
+
+class TestDeadCookieConsistency:
+    def test_dead_cookie_beats_permission_and_bounds(self, world):
+        """A destroyed cookie raises KnemInvalidCookie even when the copy
+        also names a forbidden direction and an out-of-bounds range."""
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.destroy_region(0, cookie)
+            # write=True would be KnemPermissionError, offset 1 MiB would be
+            # KnemBoundsError — liveness must win over both.
+            try:
+                yield from knem.copy(1, cookie, 1 << 20, local, 0, 4096,
+                                     write=True)
+            except KnemInvalidCookie:
+                return "invalid-cookie"
+            return "wrong-error"
+
+        assert run(sim, body()) == "invalid-cookie"
+
+    def test_region_check_liveness_first(self, world):
+        sim, mem, knem = world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            region = knem.region(cookie)
+            yield from knem.destroy_region(0, cookie)
+            return region
+
+        region = run(sim, body())
+        assert not region.alive
+        with pytest.raises(KnemInvalidCookie):
+            region.check(1 << 20, 4096, PROT_WRITE)
+
+
+class TestLifecycleTrace:
+    @pytest.fixture
+    def traced_world(self):
+        sim = Simulator()
+        tracer = Tracer(clock=lambda: sim.now, enabled=True)
+        mem = MemorySystem(sim, dancer(), tracer=tracer)
+        knem = KnemDriver(sim, mem, tracer=tracer)
+        return sim, mem, knem, tracer
+
+    def test_register_and_deregister_events(self, traced_world):
+        sim, mem, knem, tracer = traced_world
+        buf = mem.alloc(8192, 0, label="exported")
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 4096, 4096,
+                                                   PROT_WRITE)
+            yield from knem.destroy_region(0, cookie)
+            return cookie
+
+        cookie = run(sim, body())
+        (reg,) = tracer.select("knem.register")
+        assert reg.cookie == cookie
+        assert reg.buf == buf.id
+        assert reg.buf_label == "exported"
+        assert reg.offset == 4096
+        assert reg.length == 4096
+        assert reg.prot == PROT_WRITE
+        (dereg,) = tracer.select("knem.deregister")
+        assert dereg.cookie == cookie
+        assert dereg.buf == buf.id
+
+    def test_failed_copy_emits_knem_fail(self, traced_world):
+        sim, mem, knem, tracer = traced_world
+        buf = mem.alloc(4096, 0)
+        local = mem.alloc(4096, 1)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.destroy_region(0, cookie)
+            try:
+                yield from knem.copy(1, cookie, 0, local, 0, 4096,
+                                     write=False)
+            except KnemInvalidCookie:
+                pass
+            return cookie
+
+        cookie = run(sim, body())
+        (fail,) = tracer.select("knem.fail")
+        assert fail.op == "copy"
+        assert fail.error == "KnemInvalidCookie"
+        assert fail.cookie == cookie
+        assert fail.nbytes == 4096
+        assert knem.stats_failed_ioctls == 1
+
+    def test_double_destroy_emits_knem_fail(self, traced_world):
+        sim, mem, knem, tracer = traced_world
+        buf = mem.alloc(4096, 0)
+
+        def body():
+            cookie = yield from knem.create_region(0, buf, 0, 4096, PROT_READ)
+            yield from knem.destroy_region(0, cookie)
+            try:
+                yield from knem.destroy_region(0, cookie)
+            except KnemInvalidCookie:
+                pass
+
+        run(sim, body())
+        fails = list(tracer.select("knem.fail"))
+        assert len(fails) == 1
+        assert fails[0].op == "destroy"
+        assert fails[0].error == "KnemInvalidCookie"
 
 
 class TestKernelCosts:

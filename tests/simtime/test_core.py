@@ -141,6 +141,40 @@ class TestSimulator:
             sim.run()
         assert "stuck-proc" in str(exc.value)
 
+    def test_deadlock_report_is_deterministic(self, sim):
+        """The report names every blocked process (sorted), the event each
+        one is parked on, and the count of distinct pending events."""
+        def stuck_on(ev):
+            yield ev
+
+        never_a = sim.event(name="never-a")
+        never_b = sim.event(name="never-b")
+        # registered out of name order on purpose: the report must sort
+        sim.process(stuck_on(never_b), name="procB")
+        sim.process(stuck_on(never_a), name="procA")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        err = exc.value
+        assert err.blocked == ["procA", "procB"]
+        assert err.waiting == {"procA": "never-a", "procB": "never-b"}
+        assert err.pending_events == 2
+        msg = str(err)
+        assert "procA (waiting on never-a)" in msg
+        assert "procB (waiting on never-b)" in msg
+        assert "2 distinct pending event(s)" in msg
+
+    def test_deadlock_report_counts_shared_event_once(self, sim):
+        def stuck_on(ev):
+            yield ev
+
+        shared = sim.event(name="shared-gate")
+        sim.process(stuck_on(shared), name="p0")
+        sim.process(stuck_on(shared), name="p1")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        assert exc.value.pending_events == 1
+        assert exc.value.waiting == {"p0": "shared-gate", "p1": "shared-gate"}
+
     def test_daemon_does_not_deadlock(self, sim):
         def daemon():
             yield sim.event()
