@@ -47,7 +47,8 @@ class Finding:
 
     def render(self) -> str:
         where = f" [rank {self.rank}]" if self.rank is not None else ""
-        return f"{self.severity.upper():7s} {self.checker}/{self.category}{where}: {self.message}"
+        return (f"{self.severity.upper():7s} "
+                f"{self.checker}/{self.category}{where}: {self.message}")
 
 
 @dataclass

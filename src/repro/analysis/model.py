@@ -34,8 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.runtime import Job
     from repro.simtime.trace import TraceRecord
 
-__all__ = ["Access", "CopyUse", "Region", "Failure", "TraceModel",
-           "build_model"]
+__all__ = ["Access", "CopyUse", "Region", "Failure", "HealthEvent",
+           "TraceModel", "build_model"]
 
 #: Copy-record labels that double-count a ``knem.copy`` record and must be
 #: skipped when collecting accesses.
@@ -129,6 +129,18 @@ class Failure:
     fields: dict[str, Any]
 
 
+@dataclass
+class HealthEvent:
+    """One ``knem.degrade`` / ``knem.requalify`` health transition."""
+
+    index: int
+    rank: Optional[int]
+    kind: str                     # "degrade" | "requalify"
+    op: str
+    consecutive: int
+    disqualified: bool
+
+
 class TraceModel:
     """Everything the checkers need, extracted from one record stream."""
 
@@ -140,6 +152,8 @@ class TraceModel:
         self.accesses: list[Access] = []
         self.regions: dict[int, Region] = {}
         self.failures: list[Failure] = []
+        #: KNEM health transitions (fault-injected degraded runs).
+        self.health_events: list[HealthEvent] = []
         #: hb token -> (sender rank, dest world rank) for sends that never
         #: recorded ``mpi.send_done`` (the sender is still inside the send).
         self.outstanding_sends: dict[int, tuple[int, int]] = {}
@@ -278,6 +292,24 @@ class TraceModel:
         self.failures.append(Failure(index, rank, f.get("op", "?"),
                                      f.get("error", "?"), dict(f)))
 
+    def _on_degrade(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        rank = self._rank_of_core(f.get("core"))
+        self._tick(rank)
+        self.health_events.append(HealthEvent(
+            index, rank, "degrade", f.get("op", "?"),
+            f.get("consecutive", 0), bool(f.get("disqualified", False)),
+        ))
+
+    def _on_requalify(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        rank = self._rank_of_core(f.get("core"))
+        self._tick(rank)
+        self.health_events.append(HealthEvent(
+            index, rank, "requalify", f.get("op", "?"),
+            f.get("after_failures", 0), False,
+        ))
+
     def _on_mem_copy(self, index, rec, msg_snap, fin_snap):
         f = rec.fields
         label = f.get("label", "")
@@ -307,6 +339,8 @@ class TraceModel:
         "knem.deregister": _on_deregister,
         "knem.copy": _on_knem_copy,
         "knem.fail": _on_knem_fail,
+        "knem.degrade": _on_degrade,
+        "knem.requalify": _on_requalify,
         "copy": _on_mem_copy,
     }
 

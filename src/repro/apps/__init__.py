@@ -9,7 +9,8 @@
   ``MPI_Alltoall`` (extra workload beyond the paper).
 """
 
-from repro.apps.asp import AspConfig, AspTiming, asp_paper_config, run_asp, run_asp_timed
+from repro.apps.asp import (AspConfig, AspTiming, asp_paper_config, run_asp,
+                            run_asp_timed)
 from repro.apps.stencil import StencilConfig, run_stencil
 from repro.apps.transpose import TransposeConfig, run_transpose
 

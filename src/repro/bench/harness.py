@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import csv
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.bench.imb import ImbSettings, imb_time
 from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan
 from repro.mpi.stacks import Stack
 from repro.units import fmt_size, fmt_time
 
@@ -135,13 +136,21 @@ def run_sweep(
     sizes: Iterable[int],
     settings: Optional[ImbSettings] = None,
     reference: Optional[str] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> ExperimentResult:
-    """Run the (stack x size) grid and return the collected curves."""
+    """Run the (stack x size) grid and return the collected curves.
+
+    ``fault_plan`` arms the schedule on every fresh machine of the sweep
+    (forked per build, so call counters restart per cell); with the default
+    ``None`` the kernel path stays on its zero-overhead fast path.
+    """
     stacks = list(stacks)
     sizes = list(sizes)
     if not stacks or not sizes:
         raise BenchmarkError("run_sweep needs at least one stack and one size")
     settings = settings or ImbSettings()
+    if fault_plan is not None:
+        settings = replace(settings, fault_plan=fault_plan)
     series = []
     for stack in stacks:
         s = Series(stack.name)

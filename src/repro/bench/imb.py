@@ -19,9 +19,10 @@ skipping the real byte movement keeps large sweeps fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan
 from repro.mpi.runtime import Job, Machine, Proc
 from repro.mpi.stacks import Stack
 
@@ -39,6 +40,9 @@ class ImbSettings:
     target_bytes: int = 64 * 1024 * 1024
     off_cache: bool = True
     root: int = 0
+    #: fault schedule armed (forked per fresh machine) before the run; None
+    #: keeps the kernel path on its zero-overhead fast path.
+    fault_plan: Optional[FaultPlan] = None
 
 
 def iterations_for(msg_size: int, settings: ImbSettings) -> int:
@@ -170,6 +174,8 @@ def imb_time(
     settings = settings or ImbSettings()
     iters = iterations if iterations is not None else iterations_for(msg_size, settings)
     machine = Machine.build(machine_name)
+    if settings.fault_plan is not None:
+        machine.arm_faults(settings.fault_plan.fork())
     job = Job(machine, nprocs=nprocs, stack=stack)
     result = job.run(_imb_program, op, msg_size, iters, settings)
     return max(result.values) / iters

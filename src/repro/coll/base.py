@@ -162,7 +162,7 @@ class BaseColl:
         for req in reqs + sends:
             yield req.event
 
-    # -- reductions ---------------------------------------------------------------------
+    # -- reductions ---------------------------------------------------------
     def reduce(self, ctx: CollCtx, sendbuf: SimBuffer,
                recvbuf: Optional[SimBuffer], count: int, root: int,
                dtype: str = "u1", op: str = "sum"):
@@ -216,7 +216,7 @@ class BaseColl:
                                dtype=dtype, op=op)
         yield from self.bcast(ctx.sub(200), recvbuf, 0, count, root=0)
 
-    # -- alltoall -----------------------------------------------------------------------
+    # -- alltoall -----------------------------------------------------------
     def alltoall(self, ctx: CollCtx, sendbuf: SimBuffer, recvbuf: SimBuffer,
                  count: int):
         counts, displs = self._uniform(count, ctx.size)

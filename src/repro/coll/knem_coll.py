@@ -23,6 +23,21 @@ channel for synchronization or delivering cookies":
 
 Messages below 16 KB and unimplemented operations are delegated to the
 regular (tuned) component, as in the real implementation.
+
+**Degradation** (when a :class:`~repro.faults.FaultPlan` is armed): every
+ioctl is retried once.  A registration that still fails turns the region
+owner into a *direct sender* — the :data:`_DIRECT` sentinel rides the normal
+cookie channel, and peers receive their data point-to-point instead.  A copy
+that still fails makes the reader ask for a point-to-point resend in its
+synchronization verdict (:data:`_RESEND`), served by the region owner after
+it has collected *all* verdicts.  Either way the collective completes with
+the same bytes over the copy-in/copy-out path; it never deadlocks, because
+every recovery decision is made by one rank and communicated in-band on the
+channels the protocol already uses.  After enough consecutive failures
+:class:`~repro.faults.KnemHealth` disqualifies KNEM and each rank locally
+stops attempting ioctls (which drives the same in-band degraded protocol).
+Regions are force-reclaimed in ``finally`` blocks, so even aborting
+collectives leak no cookies.
 """
 
 from __future__ import annotations
@@ -33,7 +48,7 @@ from repro.coll.algorithms import segments
 from repro.coll.base import BaseColl, register_component
 from repro.coll.hierarchy import build_board_tree, build_tree, hierarchy_worthwhile
 from repro.coll.tuned import TunedColl
-from repro.errors import CollectiveError
+from repro.errors import CollectiveError, FaultInjected
 from repro.hardware.memory import SimBuffer
 from repro.kernel.knem import FLAG_DMA, PROT_READ, PROT_WRITE
 from repro.mpi.communicator import CollCtx
@@ -42,12 +57,24 @@ __all__ = ["KnemColl"]
 
 # Phase namespace layout (offsets into the per-call tag space).
 _PH_COOKIE = 0      # root/leader -> peers: region cookie
-_PH_SYNC = 1        # peers -> root/leader: copy-complete notification
+_PH_SYNC = 1        # peers -> root/leader: copy verdict (_OK / _RESEND)
 _PH_LEADER_COOKIE = 2
 _PH_LEADER_SYNC = 3
 _PH_SEG_READY = 4   # leader -> leaves: pipelined segment availability
+_PH_RESEND = 5      # owner -> degraded peer (or back): the data, p2p
+_PH_LEADER_RESEND = 6
+_PH_A2A_STATUS = 7  # alltoallv reader -> owner: copy verdict
+_PH_A2A_RESEND = 8  # alltoallv owner -> reader: the block, p2p
 _PH_BARRIER_A = 900
 _PH_BARRIER_B = 950
+
+#: Cookie-channel sentinel: the owner could not register its region and will
+#: move the data point-to-point instead (degraded "direct" mode).
+_DIRECT = "knem-direct"
+
+#: Synchronization verdicts, piggybacked on the existing sync messages.
+_OK = "ok"
+_RESEND = "resend"
 
 
 @register_component("knem")
@@ -57,6 +84,7 @@ class KnemColl(BaseColl):
     def __init__(self, world):
         super().__init__(world)
         self._fallback = TunedColl(world)
+        world.machine.knem.health.fail_limit = self.tuning.knem_fail_limit
 
     # -- helpers --------------------------------------------------------------
     @property
@@ -78,6 +106,55 @@ class KnemColl(BaseColl):
         if nbytes >= self.tuning.pipeline_large_at:
             return self.tuning.pipeline_seg_large
         return self.tuning.pipeline_seg_intermediate
+
+    # -- degradation helpers --------------------------------------------------
+    def _register_or_degrade(self, core: int, buf: SimBuffer, offset: int,
+                             nbytes: int, prot: int):
+        """Register with one retry; returns the cookie, or None to degrade.
+
+        A disqualified device is not even attempted — the rank-local check
+        feeds the same in-band degraded protocol an injected failure would,
+        so ranks can never disagree about the message pattern.
+        """
+        knem = self._knem
+        if knem.health.disqualified:
+            return None
+        for _attempt in (0, 1):
+            try:
+                cookie = yield from knem.create_region(core, buf, offset,
+                                                       nbytes, prot)
+            except FaultInjected:
+                continue
+            knem.health.note_success()
+            return cookie
+        knem.health.note_failure("coll-register", core)
+        return None
+
+    def _copy_or_degrade(self, core: int, cookie, region_off: int,
+                         local: SimBuffer, local_off: int, nbytes: int,
+                         write: bool, flags: int = 0):
+        """In-kernel copy with one retry; True on success, False to degrade."""
+        if nbytes == 0:
+            return True
+        knem = self._knem
+        if knem.health.disqualified:
+            return False
+        for _attempt in (0, 1):
+            try:
+                yield from knem.copy(core, cookie, region_off, local,
+                                     local_off, nbytes, write=write,
+                                     flags=flags)
+            except FaultInjected:
+                continue
+            knem.health.note_success()
+            return True
+        knem.health.note_failure("coll-copy", core)
+        return False
+
+    def _release(self, core: int, cookie):
+        """Deregister (retrying injected faults; force-reclaim as last resort)."""
+        if cookie is not None:
+            yield from self._knem.destroy_region_safe(core, cookie)
 
     # ------------------------------------------------------------- broadcast
     def bcast(self, ctx: CollCtx, buf: SimBuffer, offset: int, nbytes: int,
@@ -101,22 +178,41 @@ class KnemColl(BaseColl):
         knem = self._knem
         core = ctx.proc.core
         if ctx.rank == root:
-            cookie = yield from knem.create_region(core, buf, offset, nbytes,
-                                                   PROT_READ)
-            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
-                    for peer in range(ctx.size) if peer != root]
-            for req in reqs:
-                yield req.event
-            for peer in range(ctx.size):
-                if peer != root:
-                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, cookie)
+            cookie = yield from self._register_or_degrade(core, buf, offset,
+                                                          nbytes, PROT_READ)
+            try:
+                post = _DIRECT if cookie is None else cookie
+                reqs = [ctx.isend_obj(peer, post, phase=_PH_COOKIE)
+                        for peer in range(ctx.size) if peer != root]
+                for req in reqs:
+                    yield req.event
+                resend = []
+                for peer in range(ctx.size):
+                    if peer == root:
+                        continue
+                    verdict, _st = yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+                    if verdict == _RESEND:
+                        resend.append(peer)
+                for peer in resend:
+                    yield from ctx.send(peer, buf, offset, nbytes,
+                                        phase=_PH_RESEND)
+                yield from self._release(core, cookie)
+            finally:
+                if cookie is not None:
+                    knem.reclaim(core, cookie)
         else:
             cookie, _st = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
-            flags = FLAG_DMA if self.tuning.dma_offload else 0
-            yield from knem.copy(core, cookie, 0, buf, offset, nbytes,
-                                 write=False, flags=flags)
-            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+            ok = False
+            if cookie != _DIRECT:
+                flags = FLAG_DMA if self.tuning.dma_offload else 0
+                ok = yield from self._copy_or_degrade(
+                    core, cookie, 0, buf, offset, nbytes, write=False,
+                    flags=flags)
+            yield from ctx.send_obj(root, _OK if ok else _RESEND,
+                                    phase=_PH_SYNC)
+            if not ok:
+                yield from ctx.recv(root, buf, offset, nbytes,
+                                    phase=_PH_RESEND)
 
     def _bcast_hierarchical(self, ctx: CollCtx, buf: SimBuffer, offset: int,
                             nbytes: int, root: int):
@@ -125,7 +221,9 @@ class KnemColl(BaseColl):
         The root registers once; leaders pull segments from the root region
         and re-export their own buffer to their leaves, which pull each
         segment as soon as the leader announces it — overlapping the
-        inter-domain and intra-domain copies.
+        inter-domain and intra-domain copies.  On a degraded run the segment
+        flags carry None once a relay lost the data; downstream ranks then
+        request a whole-buffer resend from their parent in the tree.
         """
         knem = self._knem
         core = ctx.proc.core
@@ -135,40 +233,71 @@ class KnemColl(BaseColl):
         role = tree.role(ctx.rank)
 
         if role == "root":
-            cookie = yield from knem.create_region(core, buf, offset, nbytes,
-                                                   PROT_READ)
-            peers = tree.non_root_leaders + tree.leaves_of(root)
-            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
-                    for peer in peers]
-            for req in reqs:
-                yield req.event
-            for peer in peers:
-                yield from ctx.recv_obj(peer, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, cookie)
+            cookie = yield from self._register_or_degrade(core, buf, offset,
+                                                          nbytes, PROT_READ)
+            try:
+                post = _DIRECT if cookie is None else cookie
+                peers = tree.non_root_leaders + tree.leaves_of(root)
+                reqs = [ctx.isend_obj(peer, post, phase=_PH_COOKIE)
+                        for peer in peers]
+                for req in reqs:
+                    yield req.event
+                resend = []
+                for peer in peers:
+                    verdict, _st = yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+                    if verdict == _RESEND:
+                        resend.append(peer)
+                for peer in resend:
+                    yield from ctx.send(peer, buf, offset, nbytes,
+                                        phase=_PH_RESEND)
+                yield from self._release(core, cookie)
+            finally:
+                if cookie is not None:
+                    knem.reclaim(core, cookie)
 
         elif role == "leader":
             root_cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
-            my_cookie = yield from knem.create_region(core, buf, offset,
-                                                      nbytes, PROT_READ)
-            leaves = tree.leaves_of(ctx.rank)
-            reqs = [ctx.isend_obj(leaf, my_cookie, phase=_PH_LEADER_COOKIE)
-                    for leaf in leaves]
-            for seg_index, (seg_off, seg_len) in enumerate(segs):
-                yield from knem.copy(core, root_cookie, seg_off, buf,
-                                     offset + seg_off, seg_len, write=False)
-                # Per-segment availability flags are cheap shared-memory
-                # stores, but they execute on the leader's critical path —
-                # the synchronization cost that makes too-small pipeline
-                # segments lose (Section VI-B).
+            my_cookie = yield from self._register_or_degrade(
+                core, buf, offset, nbytes, PROT_READ)
+            try:
+                leaves = tree.leaves_of(ctx.rank)
+                post = _DIRECT if my_cookie is None else my_cookie
+                reqs = [ctx.isend_obj(leaf, post, phase=_PH_LEADER_COOKIE)
+                        for leaf in leaves]
+                have_data = root_cookie != _DIRECT
+                for seg_index, (seg_off, seg_len) in enumerate(segs):
+                    if have_data:
+                        have_data = yield from self._copy_or_degrade(
+                            core, root_cookie, seg_off, buf, offset + seg_off,
+                            seg_len, write=False)
+                    # Per-segment availability flags are cheap shared-memory
+                    # stores, but they execute on the leader's critical path —
+                    # the synchronization cost that makes too-small pipeline
+                    # segments lose (Section VI-B).
+                    flag = seg_index if have_data else None
+                    for leaf in leaves:
+                        yield from ctx.send_obj(leaf, flag,
+                                                phase=_PH_SEG_READY)
+                for req in reqs:
+                    yield req.event
+                resend_leaves = []
                 for leaf in leaves:
-                    yield from ctx.send_obj(leaf, seg_index,
-                                            phase=_PH_SEG_READY)
-            for req in reqs:
-                yield req.event
-            for leaf in leaves:
-                yield from ctx.recv_obj(leaf, phase=_PH_LEADER_SYNC)
-            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, my_cookie)
+                    verdict, _st = yield from ctx.recv_obj(
+                        leaf, phase=_PH_LEADER_SYNC)
+                    if verdict == _RESEND:
+                        resend_leaves.append(leaf)
+                yield from ctx.send_obj(root, _OK if have_data else _RESEND,
+                                        phase=_PH_SYNC)
+                if not have_data:
+                    yield from ctx.recv(root, buf, offset, nbytes,
+                                        phase=_PH_RESEND)
+                for leaf in resend_leaves:
+                    yield from ctx.send(leaf, buf, offset, nbytes,
+                                        phase=_PH_LEADER_RESEND)
+                yield from self._release(core, my_cookie)
+            finally:
+                if my_cookie is not None:
+                    knem.reclaim(core, my_cookie)
 
         else:  # leaf
             leader = tree.leader_of(ctx.rank)
@@ -176,18 +305,33 @@ class KnemColl(BaseColl):
                 # Root-set leaves read the whole message straight from the
                 # root region (the data is fully available from the start).
                 cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
-                yield from knem.copy(core, cookie, 0, buf, offset, nbytes,
-                                     write=False)
-                yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+                ok = False
+                if cookie != _DIRECT:
+                    ok = yield from self._copy_or_degrade(
+                        core, cookie, 0, buf, offset, nbytes, write=False)
+                yield from ctx.send_obj(root, _OK if ok else _RESEND,
+                                        phase=_PH_SYNC)
+                if not ok:
+                    yield from ctx.recv(root, buf, offset, nbytes,
+                                        phase=_PH_RESEND)
             else:
                 cookie, _ = yield from ctx.recv_obj(leader,
                                                     phase=_PH_LEADER_COOKIE)
+                ok = cookie != _DIRECT
                 for seg_off, seg_len in segs:
-                    yield from ctx.recv_obj(leader, phase=_PH_SEG_READY)
-                    yield from knem.copy(core, cookie, seg_off, buf,
-                                         offset + seg_off, seg_len,
-                                         write=False)
-                yield from ctx.send_obj(leader, None, phase=_PH_LEADER_SYNC)
+                    flag, _st = yield from ctx.recv_obj(leader,
+                                                        phase=_PH_SEG_READY)
+                    if ok and flag is not None:
+                        ok = yield from self._copy_or_degrade(
+                            core, cookie, seg_off, buf, offset + seg_off,
+                            seg_len, write=False)
+                    else:
+                        ok = False
+                yield from ctx.send_obj(leader, _OK if ok else _RESEND,
+                                        phase=_PH_LEADER_SYNC)
+                if not ok:
+                    yield from ctx.recv(leader, buf, offset, nbytes,
+                                        phase=_PH_LEADER_RESEND)
 
     def _bcast_multilevel(self, ctx: CollCtx, buf: SimBuffer, offset: int,
                           nbytes: int, root: int):
@@ -209,33 +353,57 @@ class KnemColl(BaseColl):
 
         my_cookie = None
         if kids:
-            my_cookie = yield from knem.create_region(core, buf, offset,
-                                                      nbytes, PROT_READ)
-        if par is None:  # root: everything is available from the start
-            reqs = [ctx.isend_obj(kid, my_cookie, phase=_PH_COOKIE)
-                    for kid in kids]
-            for req in reqs:
-                yield req.event
-        else:
-            parent_cookie, _ = yield from ctx.recv_obj(par, phase=_PH_COOKIE)
-            reqs = [ctx.isend_obj(kid, my_cookie, phase=_PH_COOKIE)
-                    for kid in kids]
-            for req in reqs:
-                yield req.event
-            for seg_index, (seg_off, seg_len) in enumerate(segs):
-                if par != tree.root:
-                    yield from ctx.recv_obj(par, phase=_PH_SEG_READY)
-                yield from knem.copy(core, parent_cookie, seg_off, buf,
-                                     offset + seg_off, seg_len, write=False)
-                for kid in kids:
-                    yield from ctx.send_obj(kid, seg_index,
-                                            phase=_PH_SEG_READY)
-        for kid in kids:
-            yield from ctx.recv_obj(kid, phase=_PH_SYNC)
-        if par is not None:
-            yield from ctx.send_obj(par, None, phase=_PH_SYNC)
-        if my_cookie is not None:
-            yield from knem.destroy_region(core, my_cookie)
+            my_cookie = yield from self._register_or_degrade(
+                core, buf, offset, nbytes, PROT_READ)
+        try:
+            post = _DIRECT if my_cookie is None else my_cookie
+            have_data = True
+            if par is None:  # root: everything is available from the start
+                reqs = [ctx.isend_obj(kid, post, phase=_PH_COOKIE)
+                        for kid in kids]
+                for req in reqs:
+                    yield req.event
+            else:
+                parent_cookie, _ = yield from ctx.recv_obj(par,
+                                                           phase=_PH_COOKIE)
+                reqs = [ctx.isend_obj(kid, post, phase=_PH_COOKIE)
+                        for kid in kids]
+                for req in reqs:
+                    yield req.event
+                have_data = parent_cookie != _DIRECT
+                for seg_index, (seg_off, seg_len) in enumerate(segs):
+                    flag = seg_index
+                    if par != tree.root:
+                        flag, _st = yield from ctx.recv_obj(
+                            par, phase=_PH_SEG_READY)
+                    if have_data and flag is not None:
+                        have_data = yield from self._copy_or_degrade(
+                            core, parent_cookie, seg_off, buf,
+                            offset + seg_off, seg_len, write=False)
+                    else:
+                        have_data = False
+                    announce = seg_index if have_data else None
+                    for kid in kids:
+                        yield from ctx.send_obj(kid, announce,
+                                                phase=_PH_SEG_READY)
+            resend_kids = []
+            for kid in kids:
+                verdict, _st = yield from ctx.recv_obj(kid, phase=_PH_SYNC)
+                if verdict == _RESEND:
+                    resend_kids.append(kid)
+            if par is not None:
+                yield from ctx.send_obj(par, _OK if have_data else _RESEND,
+                                        phase=_PH_SYNC)
+                if not have_data:
+                    yield from ctx.recv(par, buf, offset, nbytes,
+                                        phase=_PH_RESEND)
+            for kid in resend_kids:
+                yield from ctx.send(kid, buf, offset, nbytes,
+                                    phase=_PH_RESEND)
+            yield from self._release(core, my_cookie)
+        finally:
+            if my_cookie is not None:
+                knem.reclaim(core, my_cookie)
 
     # ------------------------------------------------------------------- scatter
     def scatterv(self, ctx: CollCtx, sendbuf: Optional[SimBuffer],
@@ -250,25 +418,45 @@ class KnemColl(BaseColl):
         if ctx.rank == root:
             if sendbuf is None:
                 raise CollectiveError("scatter root requires a send buffer")
-            cookie = yield from knem.create_region(core, sendbuf, 0,
-                                                   sendbuf.size, PROT_READ)
-            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
-                    for peer in range(ctx.size) if peer != root]
-            yield from self._local_copy(ctx, sendbuf, displs[root], recvbuf,
-                                        0, counts[root])
-            for req in reqs:
-                yield req.event
-            for peer in range(ctx.size):
-                if peer != root:
-                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, cookie)
+            cookie = yield from self._register_or_degrade(
+                core, sendbuf, 0, sendbuf.size, PROT_READ)
+            try:
+                post = _DIRECT if cookie is None else cookie
+                reqs = [ctx.isend_obj(peer, post, phase=_PH_COOKIE)
+                        for peer in range(ctx.size) if peer != root]
+                yield from self._local_copy(ctx, sendbuf, displs[root],
+                                            recvbuf, 0, counts[root])
+                for req in reqs:
+                    yield req.event
+                resend = []
+                for peer in range(ctx.size):
+                    if peer == root:
+                        continue
+                    verdict, _st = yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+                    if verdict == _RESEND:
+                        resend.append(peer)
+                for peer in resend:
+                    yield from ctx.send(peer, sendbuf, displs[peer],
+                                        counts[peer], phase=_PH_RESEND)
+                yield from self._release(core, cookie)
+            finally:
+                if cookie is not None:
+                    knem.reclaim(core, cookie)
         else:
             cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
-            # Receiver-reading: this rank's core pulls only its slice
-            # (partial region access at the slice offset).
-            yield from knem.copy(core, cookie, displs[ctx.rank], recvbuf, 0,
-                                 counts[ctx.rank], write=False)
-            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+            nbytes = counts[ctx.rank]
+            ok = nbytes == 0
+            if not ok and cookie != _DIRECT:
+                # Receiver-reading: this rank's core pulls only its slice
+                # (partial region access at the slice offset).
+                ok = yield from self._copy_or_degrade(
+                    core, cookie, displs[ctx.rank], recvbuf, 0, nbytes,
+                    write=False)
+            yield from ctx.send_obj(root, _OK if ok else _RESEND,
+                                    phase=_PH_SYNC)
+            if not ok:
+                yield from ctx.recv(root, recvbuf, 0, nbytes,
+                                    phase=_PH_RESEND)
 
     # -------------------------------------------------------------------- gather
     def gatherv(self, ctx: CollCtx, sendbuf: SimBuffer,
@@ -292,25 +480,45 @@ class KnemColl(BaseColl):
         if ctx.rank == root:
             if recvbuf is None:
                 raise CollectiveError("gather root requires a receive buffer")
-            cookie = yield from knem.create_region(core, recvbuf, 0,
-                                                   recvbuf.size, PROT_WRITE)
-            reqs = [ctx.isend_obj(peer, cookie, phase=_PH_COOKIE)
-                    for peer in range(ctx.size) if peer != root]
-            yield from self._local_copy(ctx, sendbuf, 0, recvbuf,
-                                        displs[root], counts[root])
-            for req in reqs:
-                yield req.event
-            for peer in range(ctx.size):
-                if peer != root:
-                    yield from ctx.recv_obj(peer, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, cookie)
+            cookie = yield from self._register_or_degrade(
+                core, recvbuf, 0, recvbuf.size, PROT_WRITE)
+            try:
+                post = _DIRECT if cookie is None else cookie
+                reqs = [ctx.isend_obj(peer, post, phase=_PH_COOKIE)
+                        for peer in range(ctx.size) if peer != root]
+                yield from self._local_copy(ctx, sendbuf, 0, recvbuf,
+                                            displs[root], counts[root])
+                for req in reqs:
+                    yield req.event
+                resend = []
+                for peer in range(ctx.size):
+                    if peer == root:
+                        continue
+                    verdict, _st = yield from ctx.recv_obj(peer, phase=_PH_SYNC)
+                    if verdict == _RESEND:
+                        resend.append(peer)
+                for peer in resend:
+                    yield from ctx.recv(peer, recvbuf, displs[peer],
+                                        counts[peer], phase=_PH_RESEND)
+                yield from self._release(core, cookie)
+            finally:
+                if cookie is not None:
+                    knem.reclaim(core, cookie)
         else:
             cookie, _ = yield from ctx.recv_obj(root, phase=_PH_COOKIE)
-            # Sender-writing: this core pushes its block into the root
-            # buffer at its displacement, concurrently with every peer.
-            yield from knem.copy(core, cookie, displs[ctx.rank], sendbuf, 0,
-                                 counts[ctx.rank], write=True)
-            yield from ctx.send_obj(root, None, phase=_PH_SYNC)
+            nbytes = counts[ctx.rank]
+            ok = nbytes == 0
+            if not ok and cookie != _DIRECT:
+                # Sender-writing: this core pushes its block into the root
+                # buffer at its displacement, concurrently with every peer.
+                ok = yield from self._copy_or_degrade(
+                    core, cookie, displs[ctx.rank], sendbuf, 0, nbytes,
+                    write=True)
+            yield from ctx.send_obj(root, _OK if ok else _RESEND,
+                                    phase=_PH_SYNC)
+            if not ok:
+                yield from ctx.send(root, sendbuf, 0, nbytes,
+                                    phase=_PH_RESEND)
 
     def _gather_root_reads(self, ctx, sendbuf, recvbuf, counts, displs, root):
         """Ablation: no direction control — the root's core does every copy."""
@@ -327,19 +535,37 @@ class KnemColl(BaseColl):
                 cookies[peer] = cookie
             yield from self._local_copy(ctx, sendbuf, 0, recvbuf,
                                         displs[root], counts[root])
+            need: dict[int, bool] = {}
             for peer, cookie in cookies.items():
-                yield from knem.copy(core, cookie, 0, recvbuf, displs[peer],
-                                     counts[peer], write=False)
-            reqs = [ctx.isend_obj(peer, None, phase=_PH_SYNC)
+                ok = counts[peer] == 0
+                if not ok and cookie != _DIRECT:
+                    ok = yield from self._copy_or_degrade(
+                        core, cookie, 0, recvbuf, displs[peer], counts[peer],
+                        write=False)
+                need[peer] = not ok
+            reqs = [ctx.isend_obj(peer, _RESEND if need[peer] else _OK,
+                                  phase=_PH_SYNC)
                     for peer in cookies]
             for req in reqs:
                 yield req.event
+            for peer in cookies:
+                if need[peer]:
+                    yield from ctx.recv(peer, recvbuf, displs[peer],
+                                        counts[peer], phase=_PH_RESEND)
         else:
-            cookie = yield from knem.create_region(core, sendbuf, 0,
-                                                   counts[ctx.rank], PROT_READ)
-            yield from ctx.send_obj(root, cookie, phase=_PH_COOKIE)
-            yield from ctx.recv_obj(root, phase=_PH_SYNC)
-            yield from knem.destroy_region(core, cookie)
+            cookie = yield from self._register_or_degrade(
+                core, sendbuf, 0, counts[ctx.rank], PROT_READ)
+            try:
+                post = _DIRECT if cookie is None else cookie
+                yield from ctx.send_obj(root, post, phase=_PH_COOKIE)
+                verdict, _st = yield from ctx.recv_obj(root, phase=_PH_SYNC)
+                if verdict == _RESEND:
+                    yield from ctx.send(root, sendbuf, 0, counts[ctx.rank],
+                                        phase=_PH_RESEND)
+                yield from self._release(core, cookie)
+            finally:
+                if cookie is not None:
+                    knem.reclaim(core, cookie)
 
     # ------------------------------------------------------------------- allgather
     def allgatherv(self, ctx: CollCtx, sendbuf: SimBuffer, recvbuf: SimBuffer,
@@ -369,27 +595,92 @@ class KnemColl(BaseColl):
         knem = self._knem
         core = ctx.proc.core
         me, size = ctx.rank, ctx.size
-        cookie = yield from knem.create_region(core, sendbuf, 0, sendbuf.size,
-                                               PROT_READ)
-        # Cookie exchange through the pre-allocated shared-memory array
-        # (an out-of-band AllGather over shared memory, not KNEM).
-        yield from ctx.board_post((cookie, tuple(send_counts),
-                                   tuple(send_displs)))
-        yield from ctx.dissemination_barrier(_PH_BARRIER_A)
-        yield from self._local_copy(ctx, sendbuf, send_displs[me], recvbuf,
-                                    recv_displs[me], recv_counts[me])
-        order = (range(1, size) if self.tuning.rotate_alltoall
-                 else [p for p in range(size) if p != me])
-        for step in order:
-            peer = (me + step) % size if self.tuning.rotate_alltoall else step
-            peer_cookie, peer_counts, peer_displs = ctx.board_get(peer)
-            if peer_counts[me] != recv_counts[peer]:
-                raise CollectiveError(
-                    f"alltoallv count mismatch: rank {peer} sends "
-                    f"{peer_counts[me]}B, rank {me} expects {recv_counts[peer]}B"
-                )
-            yield from knem.copy(core, peer_cookie, peer_displs[me], recvbuf,
-                                 recv_displs[peer], recv_counts[peer],
-                                 write=False)
-        yield from ctx.dissemination_barrier(_PH_BARRIER_B)
-        yield from knem.destroy_region(core, cookie)
+        # Armed-ness is machine-global and fixed for the job, so every rank
+        # takes the same branch at the recovery gates below.
+        plan_armed = knem.fault_plan is not None
+        cookie = yield from self._register_or_degrade(
+            core, sendbuf, 0, sendbuf.size, PROT_READ)
+        try:
+            # Cookie exchange through the pre-allocated shared-memory array
+            # (an out-of-band AllGather over shared memory, not KNEM).  A
+            # degraded owner posts None: every peer sees it and posts a
+            # matching receive, so the owner can serve its blocks directly.
+            yield from ctx.board_post((cookie, tuple(send_counts),
+                                       tuple(send_displs)))
+            yield from ctx.dissemination_barrier(_PH_BARRIER_A)
+            direct_reqs = []
+            if cookie is None:
+                direct_reqs = [
+                    ctx.isend(peer, sendbuf, send_displs[peer],
+                              send_counts[peer], phase=_PH_A2A_RESEND)
+                    for peer in range(size)
+                    if peer != me and send_counts[peer]
+                ]
+            yield from self._local_copy(ctx, sendbuf, send_displs[me],
+                                        recvbuf, recv_displs[me],
+                                        recv_counts[me])
+            order = (range(1, size) if self.tuning.rotate_alltoall
+                     else [p for p in range(size) if p != me])
+            peers = [((me + step) % size if self.tuning.rotate_alltoall
+                      else step) for step in order]
+            failed_reads = []
+            for peer in peers:
+                peer_cookie, peer_counts, peer_displs = ctx.board_get(peer)
+                if peer_counts[me] != recv_counts[peer]:
+                    raise CollectiveError(
+                        f"alltoallv count mismatch: rank {peer} sends "
+                        f"{peer_counts[me]}B, rank {me} expects "
+                        f"{recv_counts[peer]}B"
+                    )
+                nbytes = recv_counts[peer]
+                if peer_cookie is None:
+                    if nbytes:
+                        yield from ctx.recv(peer, recvbuf, recv_displs[peer],
+                                            nbytes, phase=_PH_A2A_RESEND)
+                    continue
+                ok = yield from self._copy_or_degrade(
+                    core, peer_cookie, peer_displs[me], recvbuf,
+                    recv_displs[peer], nbytes, write=False)
+                if not ok:
+                    failed_reads.append(peer)
+            if plan_armed:
+                # Pairwise verdict exchange between readers and owners whose
+                # regions were live; owners then retransmit failed blocks.
+                # All data sends are isends: two mutually-degraded ranks
+                # must not face each other with blocking rendezvous sends.
+                status_reqs = []
+                for peer in peers:
+                    peer_cookie, _c, _d = ctx.board_get(peer)
+                    if peer_cookie is not None:
+                        verdict = _RESEND if peer in failed_reads else _OK
+                        status_reqs.append(
+                            ctx.isend_obj(peer, verdict,
+                                          phase=_PH_A2A_STATUS))
+                resend_reqs = []
+                if cookie is not None:
+                    resend_to = []
+                    for peer in range(size):
+                        if peer == me:
+                            continue
+                        verdict, _st = yield from ctx.recv_obj(
+                            peer, phase=_PH_A2A_STATUS)
+                        if verdict == _RESEND:
+                            resend_to.append(peer)
+                    resend_reqs = [
+                        ctx.isend(peer, sendbuf, send_displs[peer],
+                                  send_counts[peer], phase=_PH_A2A_RESEND)
+                        for peer in resend_to
+                    ]
+                for peer in failed_reads:
+                    yield from ctx.recv(peer, recvbuf, recv_displs[peer],
+                                        recv_counts[peer],
+                                        phase=_PH_A2A_RESEND)
+                for req in status_reqs + resend_reqs:
+                    yield req.event
+            for req in direct_reqs:
+                yield req.event
+            yield from ctx.dissemination_barrier(_PH_BARRIER_B)
+            yield from self._release(core, cookie)
+        finally:
+            if cookie is not None:
+                knem.reclaim(core, cookie)

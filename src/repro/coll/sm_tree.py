@@ -23,7 +23,8 @@ from repro.mpi.communicator import CollCtx
 __all__ = ["SmTreeColl"]
 
 
-def _kary_parent_children(vrank: int, size: int, degree: int) -> tuple[Optional[int], list[int]]:
+def _kary_parent_children(vrank: int, size: int,
+                          degree: int) -> tuple[Optional[int], list[int]]:
     parent = None if vrank == 0 else (vrank - 1) // degree
     children = [c for c in range(vrank * degree + 1, vrank * degree + degree + 1)
                 if c < size]

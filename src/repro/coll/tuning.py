@@ -67,6 +67,10 @@ class Tuning:
     #: receiving cores but serializes on the single DMA engine — an
     #: instructive ablation, off by default like in the paper's runs.
     dma_offload: bool = False
+    #: Consecutive KNEM ioctl failures (each already retried once) tolerated
+    #: before the device is disqualified for the rest of the job and every
+    #: rank stops attempting KNEM calls (see :mod:`repro.faults`).
+    knem_fail_limit: int = 8
     #: Depth of the NUMA-aware broadcast tree: 2 = the paper's Figure 1
     #: (root -> domain leaders -> leaves); 3 adds a *board* level on
     #: multi-board machines (root -> board leaders -> domain leaders ->

@@ -17,6 +17,9 @@ __all__ = [
     "KnemInvalidCookie",
     "KnemPermissionError",
     "KnemBoundsError",
+    "FaultInjected",
+    "KnemFaultInjected",
+    "ShmFaultInjected",
     "ShmError",
     "MpiError",
     "TruncationError",
@@ -93,8 +96,26 @@ class KnemBoundsError(KnemError):
     """A copy request falls outside the registered region."""
 
 
+class FaultInjected(ReproError):
+    """Marker base for failures injected by an armed :class:`FaultPlan`.
+
+    Concrete injected faults multiply inherit from this class and from the
+    subsystem error they imitate, so recovery code catching the subsystem
+    class (``except KnemError``) handles injected faults transparently while
+    tests can still single them out with ``except FaultInjected``.
+    """
+
+
+class KnemFaultInjected(FaultInjected, KnemError):
+    """An injected KNEM ioctl failure (register/copy/destroy)."""
+
+
 class ShmError(KernelError):
     """Shared-memory segment misuse (overflow, double attach, ...)."""
+
+
+class ShmFaultInjected(FaultInjected, ShmError):
+    """An injected shared-memory failure (FIFO slot acquisition)."""
 
 
 class MpiError(ReproError):

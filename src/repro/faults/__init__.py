@@ -1,0 +1,22 @@
+"""Fault injection and graceful degradation for the simulated kernel path.
+
+Arm a :class:`FaultPlan` on a machine and the KNEM driver (and optionally
+the shared-memory FIFO slot path) starts failing calls per the plan's
+deterministic schedule; the collective and point-to-point layers recover by
+retrying once, falling back to the copy-in/copy-out path for the affected
+operation, and — after enough consecutive failures — disqualifying KNEM for
+the rest of the job (see :class:`KnemHealth`).
+
+::
+
+    from repro.faults import FaultPlan
+    machine = Machine.build("dancer", trace=True)
+    machine.arm_faults(FaultPlan.all_fail(sticky=True))
+
+With no plan armed, the hooks cost a single ``is None`` test per ioctl.
+"""
+
+from repro.faults.health import KnemHealth
+from repro.faults.plan import ALL_OPS, KNEM_OPS, FaultPlan, FaultRule
+
+__all__ = ["ALL_OPS", "KNEM_OPS", "FaultPlan", "FaultRule", "KnemHealth"]

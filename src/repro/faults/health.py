@@ -1,0 +1,61 @@
+"""Per-device degradation state: consecutive failures and disqualification.
+
+Mirrors how a real Open MPI component handles a misbehaving kernel module:
+individual ioctl failures are retried or routed around, but after ``N``
+consecutive failures the device is *disqualified* for the rest of the job
+and every collective takes the copy-in/copy-out path from the start.
+
+State changes are surfaced as tracer events so degraded runs can be
+replayed through the schedule analyzers:
+
+- ``knem.degrade`` — one per recorded failure, carrying the failing op,
+  the core, the consecutive-failure count, and whether this failure
+  crossed the disqualification threshold;
+- ``knem.requalify`` — a success after one or more failures reset the
+  consecutive counter (the device recovered before disqualifying).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simtime.trace import Tracer
+
+__all__ = ["KnemHealth"]
+
+
+class KnemHealth:
+    """Failure bookkeeping for one KNEM device."""
+
+    def __init__(self, tracer: Optional[Tracer] = None, fail_limit: int = 8):
+        self.tracer = tracer or Tracer()
+        #: consecutive failures that disqualify the device (per job policy;
+        #: KNEM-Coll applies its tuning's ``knem_fail_limit`` here).
+        self.fail_limit = fail_limit
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_recoveries = 0
+        self.degrade_events = 0
+        self.disqualified = False
+
+    def note_failure(self, op: str, core: int) -> bool:
+        """Record one unrecovered ioctl failure; True once disqualified."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if not self.disqualified and self.consecutive_failures >= self.fail_limit:
+            self.disqualified = True
+        self.degrade_events += 1
+        self.tracer.emit("knem.degrade", core=core, op=op,
+                         consecutive=self.consecutive_failures,
+                         disqualified=self.disqualified)
+        return self.disqualified
+
+    def note_success(self) -> None:
+        """Record a successful ioctl; requalifies a non-disqualified device."""
+        if self.disqualified:
+            return  # disqualification is final for the job
+        if self.consecutive_failures:
+            self.total_recoveries += 1
+            self.tracer.emit("knem.requalify",
+                             after_failures=self.consecutive_failures)
+        self.consecutive_failures = 0

@@ -1,0 +1,187 @@
+"""Deterministic, seedable fault schedules for the simulated kernel path.
+
+A :class:`FaultPlan` decides, per driver entry ("register", "copy",
+"destroy", "shm.slot"), whether the call fails.  Decisions are pure
+functions of ``(seed, op, core, per-(op, core) call index, size)`` — two
+runs of the same program under the same plan inject the same faults, which
+is what makes differential testing against a no-fault run meaningful.
+
+Rules come in two flavours (the distinction the degradation machinery
+cares about):
+
+- **transient** — the matched call fails, the next one may succeed
+  (retry-once recovers);
+- **sticky** — once a rule trips it keeps firing for every later call it
+  matches (the device is broken from that point on; only falling back to
+  the copy-in/copy-out path recovers).
+
+Plans are cheap to consult (one dict lookup and a few comparisons per
+armed call) and are *forked* per machine so the per-plan call counters of
+a sweep's fresh machines start from zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import FaultInjected, KnemFaultInjected, ShmFaultInjected
+
+__all__ = ["KNEM_OPS", "ALL_OPS", "FaultRule", "FaultPlan"]
+
+#: KNEM driver entry points a plan can hook.
+KNEM_OPS = ("register", "copy", "destroy")
+
+#: Every hookable op, including shared-memory slot acquisition.
+ALL_OPS = KNEM_OPS + ("shm.slot",)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One match clause of a plan.
+
+    ``None`` fields match anything.  ``index`` counts calls per
+    ``(op, core)`` pair, starting at zero, so "the third registration on
+    core 5" is expressible regardless of what other cores do.
+    ``probability`` draws deterministically from the plan seed.  A sticky
+    rule latches the first time it fires and from then on fails every call
+    matching its ``op``/``core``/size window, ignoring index and
+    probability.  ``max_fires`` caps the number of injections of a
+    non-sticky rule.
+    """
+
+    op: Optional[str] = None
+    core: Optional[int] = None
+    index: Optional[int] = None
+    min_size: int = 0
+    max_size: Optional[int] = None
+    probability: float = 1.0
+    sticky: bool = False
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op is not None and self.op not in ALL_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; known: {ALL_OPS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def matches_site(self, op: str, core: int, size: int) -> bool:
+        """Static part of the match: op, core, and size window."""
+        if self.op is not None and self.op != op:
+            return False
+        if self.core is not None and self.core != core:
+            return False
+        if size < self.min_size:
+            return False
+        if self.max_size is not None and size > self.max_size:
+            return False
+        return True
+
+
+def _draw(seed: int, op: str, core: int, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one call site.
+
+    A real hash, not a checksum: CRC-style mixing leaves draws for adjacent
+    cores strongly correlated (one differing digit barely moves the value),
+    which would make ``probability`` rules fire all-or-nothing across ranks.
+    """
+    token = f"{seed}|{op}|{core}|{index}".encode()
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class FaultPlan:
+    """A deterministic fault schedule; arm on a machine, fork per machine."""
+
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0):
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+        self._counters: dict[tuple[str, int], int] = {}
+        self._latched: set[int] = set()
+        self._fires: dict[int, int] = {}
+        #: injections per op, for tests and reporting
+        self.injected: dict[str, int] = {}
+        self.calls = 0
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def all_fail(cls, ops: Sequence[str] = KNEM_OPS, *, sticky: bool = True,
+                 seed: int = 0) -> "FaultPlan":
+        """Every call to ``ops`` fails (sticky by default): total outage."""
+        return cls([FaultRule(op=op, sticky=sticky) for op in ops], seed=seed)
+
+    @classmethod
+    def nth_call(cls, op: str, index: int, *, core: Optional[int] = None,
+                 sticky: bool = False, seed: int = 0) -> "FaultPlan":
+        """Fail exactly the ``index``-th call to ``op`` (per matching core)."""
+        return cls([FaultRule(op=op, core=core, index=index, sticky=sticky)],
+                   seed=seed)
+
+    @classmethod
+    def random(cls, seed: int, rate: float, ops: Sequence[str] = KNEM_OPS, *,
+               sticky: bool = False, min_size: int = 0,
+               max_size: Optional[int] = None) -> "FaultPlan":
+        """Each matching call fails independently with probability ``rate``."""
+        return cls(
+            [FaultRule(op=op, probability=rate, sticky=sticky,
+                       min_size=min_size, max_size=max_size) for op in ops],
+            seed=seed,
+        )
+
+    # -- runtime ------------------------------------------------------------
+    def fork(self) -> "FaultPlan":
+        """A fresh-counter copy: same rules and seed, no latched state."""
+        return FaultPlan(self.rules, seed=self.seed)
+
+    @property
+    def armed(self) -> bool:
+        return bool(self.rules)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def fire(self, op: str, core: int, size: int = 0) -> bool:
+        """Consume one call slot; True when the call must fail.
+
+        Every consultation advances the per-``(op, core)`` call index, so
+        index-based rules see retries as distinct calls.
+        """
+        key = (op, core)
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        self.calls += 1
+        fired = False
+        for rid, rule in enumerate(self.rules):
+            if not rule.matches_site(op, core, size):
+                continue
+            if rid in self._latched:
+                fired = True
+                break
+            if rule.index is not None and rule.index != index:
+                continue
+            if rule.max_fires is not None and self._fires.get(rid, 0) >= rule.max_fires:
+                continue
+            if (rule.probability < 1.0
+                    and _draw(self.seed, op, core, index) >= rule.probability):
+                continue
+            self._fires[rid] = self._fires.get(rid, 0) + 1
+            if rule.sticky:
+                self._latched.add(rid)
+            fired = True
+            break
+        if fired:
+            self.injected[op] = self.injected.get(op, 0) + 1
+        return fired
+
+    def exception(self, op: str, core: int, size: int = 0) -> FaultInjected:
+        """The typed error an injected failure of ``op`` raises."""
+        msg = f"injected {op} fault on core {core} ({size} bytes)"
+        if op == "shm.slot":
+            return ShmFaultInjected(msg)
+        return KnemFaultInjected(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultPlan seed={self.seed} rules={len(self.rules)} "
+                f"injected={self.total_injected}>")

@@ -71,7 +71,8 @@ class Resource:
         n = len(self.flows) if n_flows is None else n_flows
         if n <= self.contention_knee:
             return self.capacity
-        return self.capacity / (1.0 + self.contention_alpha * (n - self.contention_knee))
+        return self.capacity / (
+            1.0 + self.contention_alpha * (n - self.contention_knee))
 
     @property
     def load(self) -> float:
@@ -120,7 +121,8 @@ class Flow:
         return self.streams.get(res, 1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Flow#{self.id} {self.label} rem={self.remaining:.0f}B rate={self.rate:.3g}>"
+        return (f"<Flow#{self.id} {self.label} "
+                f"rem={self.remaining:.0f}B rate={self.rate:.3g}>")
 
 
 class FlowNetwork:
@@ -286,8 +288,8 @@ class FlowNetwork:
                 frozen.add(f)
                 demand_ptr += 1
             # Flows on saturated resources.
-            if bottleneck is not None and \
-                    residual[bottleneck] <= _EPS_RATE * max(1.0, bottleneck.capacity / 1e9):
+            if bottleneck is not None and residual[bottleneck] <= \
+                    _EPS_RATE * max(1.0, bottleneck.capacity / 1e9):
                 frozen |= members[bottleneck]
             for r, cap_left in residual.items():
                 if r is not bottleneck and wsum[r] > 1e-12 and \

@@ -215,7 +215,8 @@ def numa_machine(
             for i in range(n_domains)
         ]
     elif topology == "chain":
-        links = [LinkSpec(i, i + 1, bandwidth=link_bandwidth) for i in range(n_domains - 1)]
+        links = [LinkSpec(i, i + 1, bandwidth=link_bandwidth)
+                 for i in range(n_domains - 1)]
     else:
         raise HardwareConfigError(f"unknown topology {topology!r}")
     cached = core_copy_bandwidth * 2.2

@@ -88,7 +88,8 @@ class SimBuffer:
 class CopyRequest:
     """Internal record of one copy (kept on the completion event for tracing)."""
 
-    __slots__ = ("core", "src", "src_off", "dst", "dst_off", "nbytes", "kernel", "label")
+    __slots__ = ("core", "src", "src_off", "dst", "dst_off", "nbytes",
+                 "kernel", "label")
 
     def __init__(self, core, src, src_off, dst, dst_off, nbytes, kernel, label):
         self.core = core
@@ -104,7 +105,8 @@ class CopyRequest:
 class MemorySystem:
     """Owns the flow network, resources, routing, and cache bookkeeping."""
 
-    def __init__(self, sim: Simulator, spec: MachineSpec, tracer: Optional[Tracer] = None):
+    def __init__(self, sim: Simulator, spec: MachineSpec,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.spec = spec
         self.tracer = tracer or Tracer()
@@ -144,7 +146,8 @@ class MemorySystem:
                 try:
                     path = nx.shortest_path(graph, a, b, weight="weight")
                 except nx.NetworkXNoPath:
-                    raise RoutingError(f"no link path between domains {a} and {b}") from None
+                    raise RoutingError(
+                        f"no link path between domains {a} and {b}") from None
                 self._routes[(a, b)] = [
                     (min(u, v), max(u, v)) for u, v in zip(path, path[1:])
                 ]
@@ -189,7 +192,8 @@ class MemorySystem:
         try:
             return self._routes[(src_domain, dst_domain)]
         except KeyError:
-            raise RoutingError(f"unknown domains ({src_domain}, {dst_domain})") from None
+            raise RoutingError(
+                f"unknown domains ({src_domain}, {dst_domain})") from None
 
     # -- the copy primitive ----------------------------------------------------
     def copy(

@@ -46,9 +46,11 @@ class CoreSpec:
 
     def __post_init__(self) -> None:
         if self.freq_ghz <= 0 or self.copy_bandwidth <= 0:
-            raise HardwareConfigError("core frequency and copy bandwidth must be positive")
+            raise HardwareConfigError(
+                "core frequency and copy bandwidth must be positive")
         if self.cached_copy_bandwidth < self.copy_bandwidth:
-            raise HardwareConfigError("cached copy bandwidth must be >= memory copy bandwidth")
+            raise HardwareConfigError(
+                "cached copy bandwidth must be >= memory copy bandwidth")
 
 
 @dataclass(frozen=True)
@@ -69,7 +71,8 @@ class CacheSpec:
 
     def __post_init__(self) -> None:
         if self.scope not in CACHE_SCOPES:
-            raise HardwareConfigError(f"cache scope {self.scope!r} not in {CACHE_SCOPES}")
+            raise HardwareConfigError(
+                f"cache scope {self.scope!r} not in {CACHE_SCOPES}")
         if self.size <= 0 or self.bandwidth <= 0:
             raise HardwareConfigError("cache size and bandwidth must be positive")
         if self.total_bandwidth == 0.0:
@@ -91,7 +94,8 @@ class LinkSpec:
         if self.a == self.b:
             raise HardwareConfigError(f"self-link on domain {self.a}")
         if self.bandwidth <= 0 or self.latency < 0:
-            raise HardwareConfigError("link bandwidth must be positive and latency >= 0")
+            raise HardwareConfigError(
+                "link bandwidth must be positive and latency >= 0")
 
     @property
     def key(self) -> tuple[int, int]:
@@ -144,8 +148,10 @@ class MachineSpec:
         n_domains = max(self.socket_domain) + 1
         if sorted(set(self.socket_domain)) != list(range(n_domains)):
             raise HardwareConfigError("memory domains must be contiguous from 0")
-        if len(self.domain_mem_bandwidth) != n_domains or len(self.domain_mem_bytes) != n_domains:
-            raise HardwareConfigError("per-domain arrays must have one entry per memory domain")
+        if (len(self.domain_mem_bandwidth) != n_domains
+                or len(self.domain_mem_bytes) != n_domains):
+            raise HardwareConfigError(
+                "per-domain arrays must have one entry per memory domain")
         if any(b <= 0 for b in self.domain_mem_bandwidth):
             raise HardwareConfigError("memory bandwidth must be positive")
         for link in self.links:
@@ -157,7 +163,8 @@ class MachineSpec:
         if levels != sorted(levels) or len(set(levels)) != len(levels):
             raise HardwareConfigError("cache levels must be strictly increasing")
         if self.cores_per_socket % 2 and any(c.scope == "pair" for c in self.caches):
-            raise HardwareConfigError("'pair' cache scope requires an even cores_per_socket")
+            raise HardwareConfigError(
+                "'pair' cache scope requires an even cores_per_socket")
         if not 0.0 <= self.dirty_intervention_efficiency <= 1.0:
             raise HardwareConfigError("dirty_intervention_efficiency must be in [0, 1]")
         if not 0.0 <= self.intervention_writeback <= 1.0:
@@ -230,10 +237,12 @@ class MachineSpec:
 
     def _check_core(self, core: int) -> None:
         if not 0 <= core < self.n_cores:
-            raise HardwareConfigError(f"core {core} out of range (machine has {self.n_cores})")
+            raise HardwareConfigError(
+                f"core {core} out of range (machine has {self.n_cores})")
 
     def __str__(self) -> str:
         return (
-            f"{self.name}: {self.n_cores} cores = {self.n_sockets}s x {self.cores_per_socket}c, "
+            f"{self.name}: {self.n_cores} cores = "
+            f"{self.n_sockets}s x {self.cores_per_socket}c, "
             f"{self.n_domains} memory domain(s), {self.n_boards} board(s)"
         )

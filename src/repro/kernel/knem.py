@@ -24,10 +24,13 @@ import itertools
 from typing import Optional
 
 from repro.errors import (
+    FaultInjected,
     KnemBoundsError,
     KnemInvalidCookie,
     KnemPermissionError,
 )
+from repro.faults.health import KnemHealth
+from repro.faults.plan import FaultPlan
 from repro.hardware.memory import MemorySystem, SimBuffer
 from repro.kernel.costs import KernelCosts
 from repro.simtime.core import Event, Simulator
@@ -92,11 +95,41 @@ class KnemDriver:
         self.stats_copies = 0
         self.stats_bytes = 0
         self.stats_failed_ioctls = 0
+        self.stats_injected_faults = 0
+        self.stats_reclaims = 0
+        #: armed :class:`FaultPlan` (None = zero-overhead fast path)
+        self.fault_plan: Optional[FaultPlan] = None
+        #: degradation bookkeeping consulted by the MPI layers
+        self.health = KnemHealth(tracer=self.tracer)
+
+    def _inject(self, op: str, core: int, size: int,
+                cookie: Optional[int] = None):
+        """Generator: raise an injected fault for ``op`` if the plan says so.
+
+        Charged one syscall like any other rejected ioctl, and recorded as a
+        ``knem.fail`` with ``injected=True`` — a distinct error name so the
+        cookie-lifecycle checker does not mistake it for a driver-detected
+        misuse (use-after-free, double destroy).
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.fire(op, core, size):
+            return
+        self.stats_failed_ioctls += 1
+        self.stats_injected_faults += 1
+        fields = {"core": core, "op": op, "error": "FaultInjected",
+                  "injected": True}
+        if cookie is not None:
+            fields["cookie"] = cookie
+        self.tracer.emit("knem.fail", **fields)
+        yield self.sim.timeout(self.costs.syscall)
+        raise plan.exception(op, core, size)
 
     # -- region lifecycle -------------------------------------------------
     def create_region(self, core: int, buffer: SimBuffer, offset: int,
                       length: int, prot: int):
         """Register ``buffer[offset:offset+length]``; yields cost, returns cookie."""
+        if self.fault_plan is not None:
+            yield from self._inject("register", core, length)
         if prot & ~(PROT_READ | PROT_WRITE) or prot == 0:
             self.stats_failed_ioctls += 1
             self.tracer.emit("knem.fail", core=core, op="register",
@@ -122,6 +155,11 @@ class KnemDriver:
 
     def destroy_region(self, core: int, cookie: int):
         """Deregister a region (generator; charges syscall + unpin)."""
+        if self.fault_plan is not None:
+            region = self._regions.get(cookie)
+            yield from self._inject("destroy", core,
+                                    region.length if region else 0,
+                                    cookie=cookie)
         region = self._regions.pop(cookie, None)
         if region is None or not region.alive:
             self.stats_failed_ioctls += 1
@@ -136,7 +174,41 @@ class KnemDriver:
         self.stats_deregistrations += 1
         self.tracer.emit("knem.deregister", core=core, cookie=cookie,
                          buf=region.buffer.id)
-        yield self.sim.timeout(self.costs.syscall + self.costs.unpin_time(region.length))
+        yield self.sim.timeout(self.costs.syscall
+                               + self.costs.unpin_time(region.length))
+
+    def destroy_region_safe(self, core: int, cookie: int):
+        """Destroy with one retry against injected faults, then force-reclaim.
+
+        Genuine driver errors (dead cookie = double destroy) still raise —
+        only *injected* failures are retried, so the analyzer's lifecycle
+        findings keep their meaning on degraded runs.
+        """
+        for _attempt in (0, 1):
+            try:
+                yield from self.destroy_region(core, cookie)
+                return
+            except FaultInjected:
+                continue
+        self.reclaim(core, cookie)
+
+    def reclaim(self, core: int, cookie: int) -> None:
+        """Forcibly release a region, bypassing the (possibly faulty) ioctl.
+
+        Models the kernel's cleanup when the /dev/knem fd closes: it cannot
+        fail and charges no simulated time.  Idempotent — reclaiming a
+        cookie that is already gone is a no-op, so abort paths can call it
+        unconditionally from ``finally`` blocks (which must not yield).
+        Emits ``knem.deregister`` so lifecycle checkers see the closure.
+        """
+        region = self._regions.pop(cookie, None)
+        if region is None or not region.alive:
+            return
+        region.alive = False
+        self.stats_deregistrations += 1
+        self.stats_reclaims += 1
+        self.tracer.emit("knem.deregister", core=core, cookie=cookie,
+                         buf=region.buffer.id, forced=True)
 
     def region(self, cookie: int) -> KnemRegion:
         """Kernel-internal lookup (no cost); raises on dead cookies."""
@@ -183,7 +255,8 @@ class KnemDriver:
             local_buf=local.id, local_start=local_offset,
         )
         if flags & FLAG_DMA:
-            return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes, label="knem-dma")
+            return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes,
+                                     label="knem-dma")
         return self.mem.copy(core, src, src_off, dst, dst_off, nbytes,
                              kernel=True, label="knem")
 
@@ -199,6 +272,8 @@ class KnemDriver:
         flags: int = 0,
     ):
         """Synchronous copy (generator): syscall + setup, then the transfer."""
+        if self.fault_plan is not None:
+            yield from self._inject("copy", core, nbytes, cookie=cookie)
         try:
             done = self.icopy(core, cookie, region_offset, local, local_offset,
                               nbytes, write, flags)

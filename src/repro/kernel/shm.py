@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.errors import ShmError
+from repro.faults.plan import FaultPlan
 from repro.hardware.memory import MemorySystem, SimBuffer
 from repro.hardware.spec import MachineSpec
 from repro.kernel.costs import KernelCosts
@@ -143,6 +144,8 @@ class FifoSegment:
         #: serializes messages through this FIFO (fragments of interleaved
         #: messages would be indistinguishable in the slot stream)
         self.tx_lock = Semaphore(mem.sim, 1, name=f"{name}:tx")
+        #: armed :class:`FaultPlan` (None = zero-overhead fast path)
+        self.fault_plan: Optional[FaultPlan] = None
 
     def slot_offset(self, slot: int) -> int:
         if not 0 <= slot < self.n_slots:
@@ -150,7 +153,22 @@ class FifoSegment:
         return slot * self.fragment_size
 
     def acquire_slot(self) -> Event:
-        """Sender side: event yielding the index of a free fragment slot."""
+        """Sender side: event yielding the index of a free fragment slot.
+
+        With an armed fault plan the acquisition can fail: the returned
+        event fails with :class:`~repro.errors.ShmFaultInjected`, thrown
+        into the yielding sender.  There is no transport below shared
+        memory to degrade to, so SHM faults are fail-fast by design.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.fire("shm.slot", self.sender_core,
+                                          self.fragment_size):
+            self.tracer.emit("shm.fault", fifo=self.name, op="slot",
+                             src_core=self.sender_core, injected=True)
+            ev = Event(self.mem.sim, name=f"{self.name}:slot-fault")
+            ev.fail(plan.exception("shm.slot", self.sender_core,
+                                   self.fragment_size))
+            return ev
         return self.free_slots.get()
 
     def publish(self, slot: int, nbytes: int, meta: Any = None) -> None:
@@ -185,6 +203,13 @@ class ShmWorld:
         self.costs = costs or KernelCosts()
         self._mailboxes: dict[Any, Mailbox] = {}
         self._fifos: dict[tuple[int, int], FifoSegment] = {}
+        self.fault_plan: Optional[FaultPlan] = None
+
+    def arm_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Arm (or disarm with ``None``) fault injection on every FIFO."""
+        self.fault_plan = plan
+        for seg in self._fifos.values():
+            seg.fault_plan = plan
 
     def mailbox(self, key: Any, owner_core: int) -> Mailbox:
         """Get-or-create the mailbox named ``key`` owned by ``owner_core``."""
@@ -218,5 +243,6 @@ class ShmWorld:
                 n_slots,
                 name=f"fifo[{sender_core}->{receiver_core}]",
             )
+            seg.fault_plan = self.fault_plan
             self._fifos[key] = seg
         return seg

@@ -16,6 +16,7 @@ __all__ = [
     "RTS_SM",
     "RTS_KNEM",
     "FIN",
+    "RETX",
     "Envelope",
 ]
 
@@ -24,6 +25,7 @@ EAGER = "eager"        # payload inline (tiny/object) or in a temp shm buffer
 RTS_SM = "rts_sm"      # rendezvous through the per-pair FIFO
 RTS_KNEM = "rts_knem"  # rendezvous through a KNEM region (cookie attached)
 FIN = "fin"            # receiver -> sender completion notification
+RETX = "retx"          # sender -> receiver retransmission after a NACKed FIN
 
 
 @dataclass
@@ -51,6 +53,9 @@ class Envelope:
     region_offset: int = 0
     #: True when payload is a Python object rather than buffer bytes
     is_object: bool = False
+    #: FIN only: the receiver could not complete the rendezvous (failed
+    #: in-kernel copy) and asks the sender to retransmit copy-in/copy-out
+    nack: bool = False
     #: happens-before token: pairs the sender's ``mpi.send`` trace record
     #: with the receiver's ``mpi.recv`` record (see repro.analysis)
     hb: int = -1
@@ -72,6 +77,7 @@ class Envelope:
 _fin_seq = itertools.count(1)
 
 
-def make_fin(cid: int, src: int, send_seq: int) -> Envelope:
+def make_fin(cid: int, src: int, send_seq: int, nack: bool = False) -> Envelope:
     """Build the FIN acknowledging the send with sequence ``send_seq``."""
-    return Envelope(kind=FIN, cid=cid, src=src, tag=None, nbytes=0, payload=send_seq)
+    return Envelope(kind=FIN, cid=cid, src=src, tag=None, nbytes=0,
+                    payload=send_seq, nack=nack)

@@ -32,10 +32,10 @@ from typing import Any, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import MpiError, TruncationError
+from repro.errors import FaultInjected, MpiError, TruncationError
 from repro.hardware.memory import SimBuffer
 from repro.kernel.knem import PROT_READ
-from repro.mpi.envelope import EAGER, FIN, RTS_KNEM, RTS_SM, Envelope, make_fin
+from repro.mpi.envelope import EAGER, FIN, RETX, RTS_KNEM, RTS_SM, Envelope, make_fin
 from repro.mpi.matching import ANY_SOURCE, ANY_TAG, MatchEngine, PostedRecv
 from repro.mpi.status import Request, Status
 
@@ -66,6 +66,9 @@ class PmlEndpoint:
         self.mailbox = world.machine.shm.mailbox(("pml", proc.rank), proc.core)
         self.engines: dict[int, MatchEngine] = {}
         self._fin_waiters: dict[int, Any] = {}
+        # Receives parked on a NACKed KNEM rendezvous, keyed by the sender's
+        # envelope seq; resumed when the RETX retransmission arrives.
+        self._retx_waiters: dict[int, Any] = {}
         # Per-destination injection ordering: MPI forbids messages between
         # one (sender, receiver, communicator) pair from overtaking, but
         # concurrent isend protocol engines could otherwise post envelopes
@@ -241,17 +244,59 @@ class PmlEndpoint:
     def _send_knem(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
                    nbytes, hb=-1):
         knem = self.machine.knem
-        cookie = yield from knem.create_region(self.proc.core, buf, offset,
-                                               nbytes, PROT_READ)
-        env = Envelope(kind=RTS_KNEM, cid=cid, src=src_rank, tag=tag,
-                       nbytes=nbytes, payload=cookie, reply_to=self.proc.rank,
-                       hb=hb)
-        fin = self.sim.event(name=f"fin:{env.seq}")
-        self._fin_waiters[env.seq] = fin
-        peer = self.world.endpoint(dest_world)
-        yield from self._post_ordered(ticket, peer, env)
-        yield fin
-        yield from knem.destroy_region(self.proc.core, cookie)
+        if knem.health.disqualified:
+            yield from self._send_sm(ticket, cid, src_rank, dest_world, tag,
+                                     buf, offset, nbytes, hb)
+            return
+        cookie = None
+        for _attempt in (0, 1):
+            try:
+                cookie = yield from knem.create_region(
+                    self.proc.core, buf, offset, nbytes, PROT_READ)
+                break
+            except FaultInjected:
+                continue
+        if cookie is None:
+            # Registration failed twice: degrade this message to the
+            # copy-in/copy-out path.  The same ordering ticket is reused,
+            # so the fallback cannot overtake earlier sends to this peer.
+            knem.health.note_failure("p2p-register", self.proc.core)
+            yield from self._send_sm(ticket, cid, src_rank, dest_world, tag,
+                                     buf, offset, nbytes, hb)
+            return
+        knem.health.note_success()
+        try:
+            env = Envelope(kind=RTS_KNEM, cid=cid, src=src_rank, tag=tag,
+                           nbytes=nbytes, payload=cookie,
+                           reply_to=self.proc.rank, hb=hb)
+            fin = self.sim.event(name=f"fin:{env.seq}")
+            self._fin_waiters[env.seq] = fin
+            peer = self.world.endpoint(dest_world)
+            yield from self._post_ordered(ticket, peer, env)
+            nacked = yield fin
+            yield from knem.destroy_region_safe(self.proc.core, cookie)
+        finally:
+            # No-op after the destroy above; reclaims the region when the
+            # job aborts while this send is in flight (generator closed).
+            knem.reclaim(self.proc.core, cookie)
+        if nacked:
+            # The receiver's in-kernel copy failed: retransmit eager-style
+            # through a shared temp buffer.  The RETX bypasses matching (the
+            # receiver holds its posted recv open, keyed by our seq), so the
+            # FIFO tx ordering invariant is untouched.
+            temp = self.machine.mem.alloc(
+                nbytes,
+                self.machine.spec.core_domain(peer.proc.core),
+                label=f"retx[{self.proc.rank}->{dest_world}]",
+                backed=buf.backed,
+            )
+            yield from self._cpu_copy(lambda: self.machine.mem.copy(
+                self.proc.core, buf, offset, temp, 0, nbytes,
+                label="retx-in"))
+            retx = Envelope(kind=RETX, cid=cid, src=src_rank, tag=tag,
+                            nbytes=nbytes, payload=env.seq, carrier=temp,
+                            reply_to=self.proc.rank, hb=hb)
+            yield from peer.mailbox.post(self.proc.core, retx)
 
     # ------------------------------------------------------------------ recv
     def recv(
@@ -293,7 +338,8 @@ class PmlEndpoint:
             self.send(cid, src_rank, dest_world, tag, buf, offset, nbytes, obj),
             name=f"isend[{self.proc.rank}->{dest_world}]",
         )
-        proc.add_callback(lambda ev: req._finish(None) if ev.ok else req.event.fail(ev.value))
+        proc.add_callback(lambda ev: req._finish(None) if ev.ok
+                          else req.event.fail(ev.value))
         return req
 
     # ---------------------------------------------------------------- engine
@@ -309,7 +355,13 @@ class PmlEndpoint:
                 # anything the sender does after its blocking send returns.
                 self.machine.tracer.emit("mpi.fin_recv", rank=self.proc.rank,
                                          seq=env.payload)
-                waiter.succeed(None)
+                waiter.succeed(env.nack)
+                continue
+            if env.kind == RETX:
+                waiter = self._retx_waiters.pop(env.payload, None)
+                if waiter is None:
+                    raise MpiError(f"unmatched RETX for send seq {env.payload}")
+                waiter.succeed(env)
                 continue
             engine = self.engines.setdefault(env.cid, MatchEngine())
             posted = engine.incoming(env)
@@ -342,7 +394,8 @@ class PmlEndpoint:
             if env.is_object:
                 pass  # control message: payload delivered via status
             elif env.carrier is None:
-                if posted.buf is not None and posted.buf.backed and env.payload is not None:
+                if (posted.buf is not None and posted.buf.backed
+                        and env.payload is not None):
                     posted.buf.data[posted.offset: posted.offset + env.nbytes] = \
                         np.frombuffer(env.payload, dtype=np.uint8)
             else:
@@ -364,22 +417,45 @@ class PmlEndpoint:
                 done += frag
             self._send_fin(env)
         elif env.kind == RTS_KNEM:
+            knem = self.machine.knem
+            copied = False
             yield self.cpu.acquire()
             try:
-                yield from self.machine.knem.copy(
-                    self.proc.core, env.payload, 0, posted.buf, posted.offset,
-                    env.nbytes, write=False,
-                )
+                for _attempt in (0, 1):
+                    try:
+                        yield from knem.copy(
+                            self.proc.core, env.payload, 0, posted.buf,
+                            posted.offset, env.nbytes, write=False,
+                        )
+                        copied = True
+                        break
+                    except FaultInjected:
+                        continue
             finally:
                 self.cpu.release()
-            self._send_fin(env)
+            if copied:
+                knem.health.note_success()
+                self._send_fin(env)
+            else:
+                # The in-kernel copy failed twice: NACK the FIN so the
+                # sender deregisters and retransmits through shared memory,
+                # then park until that RETX arrives.
+                knem.health.note_failure("p2p-copy", self.proc.core)
+                waiter = self.sim.event(name=f"retx:{env.seq}")
+                self._retx_waiters[env.seq] = waiter
+                self._send_fin(env, nack=True)
+                retx = yield waiter
+                yield from self._cpu_copy(lambda: self.machine.mem.copy(
+                    self.proc.core, retx.carrier, 0, posted.buf,
+                    posted.offset, env.nbytes, label="retx-out",
+                ))
         else:  # pragma: no cover - defensive
             raise MpiError(f"unknown envelope kind {env.kind!r}")
         posted.request._finish(status)
 
-    def _send_fin(self, env: Envelope) -> None:
+    def _send_fin(self, env: Envelope, nack: bool = False) -> None:
         self.machine.tracer.emit("mpi.fin_send", rank=self.proc.rank,
                                  seq=env.seq)
-        fin = make_fin(env.cid, env.src, env.seq)
+        fin = make_fin(env.cid, env.src, env.seq, nack=nack)
         sender = self.world.endpoint(env.reply_to)
         sender.mailbox.post_nowait(self.proc.core, fin)

@@ -22,6 +22,7 @@ from typing import Any, Callable, Optional, Union
 import numpy as np
 
 from repro.errors import MpiError
+from repro.faults.plan import FaultPlan
 from repro.hardware.machines import get_machine
 from repro.hardware.memory import MemorySystem, SimBuffer
 from repro.hardware.spec import MachineSpec
@@ -68,6 +69,17 @@ class Machine:
     def now(self) -> float:
         return self.sim.now
 
+    def arm_faults(self, plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+        """Arm a fault schedule on this machine's kernel services.
+
+        Hooks the KNEM driver (register/copy/destroy) and the shared-memory
+        FIFO slot path.  Pass ``None`` to disarm.  Returns the plan so call
+        sites can keep the handle for its injection counters.
+        """
+        self.knem.fault_plan = plan
+        self.shm.arm_faults(plan)
+        return plan
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Machine {self.spec.name} t={self.sim.now:.6f}>"
 
@@ -105,7 +117,8 @@ class Proc:
             nbytes, self.domain, label=label or f"r{self.rank}", backed=backed
         )
 
-    def alloc_array(self, count: int, dtype: Any = "u1", label: str = "") -> ArrayBuffer:
+    def alloc_array(self, count: int, dtype: Any = "u1",
+                    label: str = "") -> ArrayBuffer:
         """Allocate a typed numpy array homed on this process's domain."""
         array = np.zeros(count, dtype=dtype)
         buf = self.machine.mem.alloc(
@@ -251,7 +264,23 @@ class Job:
             return value
 
         handles = [sim.process(runner(p), name=f"rank{p.rank}") for p in self.procs]
-        sim.run()
+        try:
+            sim.run()
+        except BaseException:
+            # One rank raised (or the run deadlocked): close every surviving
+            # process *now* so their finally blocks run — abort-path cleanup
+            # (e.g. forced KNEM region reclaim) must happen deterministically,
+            # not at garbage collection.  This includes children spawned for
+            # non-blocking operations (isend bodies and in-flight p2p sends
+            # hold KNEM cookies too), not just the rank programs.
+            for p in list(sim._live_processes.values()):
+                gen = getattr(p, "_gen", None)
+                if p.is_alive and gen is not None:
+                    try:
+                        gen.close()
+                    except Exception:
+                        pass  # cleanup is best-effort; the original error wins
+            raise
         for h in handles:
             if not h.ok:  # pragma: no cover - failures re-raise in run()
                 raise MpiError(f"rank program failed: {h.value!r}")

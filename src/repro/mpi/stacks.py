@@ -32,6 +32,7 @@ __all__ = [
     "MPICH2_SM",
     "MPICH2_KNEM",
     "KNEM_COLL",
+    "KNEM_COLL_STRICT",
     "BASIC_SM",
     "SM_TREE",
     "ALL_STACKS",
@@ -103,6 +104,12 @@ MPICH2_KNEM = Stack(name="MPICH2-KNEM", coll="mpich2", use_knem_btl=True,
 #: control) runs over the SM/KNEM BTL like Open MPI v1.5's.
 KNEM_COLL = Stack(name="KNEM-Coll", coll="knem", use_knem_btl=True,
                   knem_threshold=16 * KiB)
+
+#: KNEM-Coll with a hair-trigger health policy: the first double failure of
+#: a KNEM ioctl disqualifies the device for the rest of the job.  Used by
+#: the fault-injection tests to exercise job-wide degradation quickly.
+KNEM_COLL_STRICT = KNEM_COLL.with_tuning(name="KNEM-Coll-strict",
+                                         knem_fail_limit=1)
 
 #: Reference linear algorithms over the SM BTL (correctness baseline).
 BASIC_SM = Stack(name="Basic-SM", coll="basic", use_knem_btl=False)

@@ -125,7 +125,8 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = ""):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         super().__init__(sim, name=name or f"timeout({delay})")
@@ -178,7 +179,8 @@ class Simulator:
         """Create a timeout event that fires after ``delay`` seconds."""
         return Timeout(self, delay, value=value)
 
-    def process(self, gen: Generator, name: str = "", daemon: bool = False) -> "Process":
+    def process(self, gen: Generator, name: str = "",
+                daemon: bool = False) -> "Process":
         """Start a generator as a simulated process (see :class:`Process`).
 
         ``daemon`` processes (e.g. per-rank progress engines) may still be

@@ -111,7 +111,8 @@ class CountdownLatch:
         if self._remaining == 0:
             raise SimulationError(f"latch {self.name} already open")
         if n > self._remaining:
-            raise SimulationError(f"latch {self.name} over-arrived ({n} > {self._remaining})")
+            raise SimulationError(
+                f"latch {self.name} over-arrived ({n} > {self._remaining})")
         self._remaining -= n
         if self._remaining == 0:
             waiters, self._waiters = self._waiters, []

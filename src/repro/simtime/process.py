@@ -27,7 +27,8 @@ class Process(Event):
 
     _ids = 0
 
-    def __init__(self, sim: Simulator, gen: Generator, name: str = "", daemon: bool = False):
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "",
+                 daemon: bool = False):
         if not hasattr(gen, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(gen).__name__}; "
@@ -70,13 +71,15 @@ class Process(Event):
         if not isinstance(target, Event):
             self._finish_fail(
                 SimulationError(
-                    f"process {self.name} yielded {target!r}; processes must yield Event objects"
+                    f"process {self.name} yielded {target!r}; "
+                    "processes must yield Event objects"
                 )
             )
             return
         if target.sim is not self.sim:
             self._finish_fail(
-                SimulationError(f"process {self.name} yielded an event from another simulator")
+                SimulationError(
+                    f"process {self.name} yielded an event from another simulator")
             )
             return
         self._waiting_on = target

@@ -36,7 +36,8 @@ class Tracer:
     ``enabled`` is True.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = False):
         self._clock = clock or (lambda: 0.0)
         self.enabled = enabled
         self.records: list[TraceRecord] = []

@@ -59,5 +59,6 @@ def bind_ranks(spec: MachineSpec, n_ranks: int, policy: str = "linear") -> list[
         ) from None
     cores = fn(spec, n_ranks)
     if len(set(cores)) != len(cores):
-        raise HardwareConfigError("binding produced duplicate cores")  # pragma: no cover
+        raise HardwareConfigError(  # pragma: no cover
+            "binding produced duplicate cores")
     return cores

@@ -86,7 +86,8 @@ def leader_order(spec: MachineSpec, root_core: int, domains: list[int]) -> list[
             return 0
         # hop count via the link graph is 1 within a board mesh, more across
         # boards; approximate with board membership to stay spec-only.
-        boards = {spec.socket_board[s] for s, dom in enumerate(spec.socket_domain) if dom == d}
+        boards = {spec.socket_board[s]
+                  for s, dom in enumerate(spec.socket_domain) if dom == d}
         root_boards = {
             spec.socket_board[s]
             for s, dom in enumerate(spec.socket_domain)

@@ -102,7 +102,8 @@ class Topology:
         for sock in self.sockets:
             self._grow_caches(sock, list(spec.caches)[::-1], list(sock.cpuset))
 
-    def _grow_caches(self, parent: TopologyObject, caches: list, cores: list[int]) -> None:
+    def _grow_caches(self, parent: TopologyObject, caches: list,
+                     cores: list[int]) -> None:
         if not caches:
             for c in cores:
                 self._cores[c] = TopologyObject(

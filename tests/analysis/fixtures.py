@@ -9,12 +9,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import (
     DeadlockError,
     KnemInvalidCookie,
     KnemPermissionError,
     ReproError,
 )
+from repro.faults.plan import FaultPlan
 from repro.kernel.knem import PROT_READ, PROT_WRITE
 from repro.mpi.runtime import Job, Machine
 from repro.mpi.stacks import KNEM_COLL, Stack
@@ -23,9 +26,12 @@ from repro.units import KiB
 SIZE = 64 * KiB
 
 
-def run_traced(machine_name: str, nprocs: int, stack: Stack, program, *args):
+def run_traced(machine_name: str, nprocs: int, stack: Stack, program, *args,
+               fault_plan: Optional[FaultPlan] = None):
     """Run a program on a traced machine; return (job, deadlock, error)."""
     machine = Machine.build(machine_name, trace=True)
+    if fault_plan is not None:
+        machine.arm_faults(fault_plan.fork())
     job = Job(machine, nprocs=nprocs, stack=stack)
     deadlock: Optional[DeadlockError] = None
     error = ""
@@ -140,5 +146,58 @@ def overlapping_registration_program(proc):
     return proc.now
 
 
+def degraded_bcast_program(proc):
+    """A clean broadcast — run it under a fault plan to get a degraded trace."""
+    buf = proc.alloc_array(SIZE, "u1")
+    if proc.rank == 0:
+        buf.array[:] = np.arange(SIZE, dtype=np.uint32).astype(np.uint8)
+    yield from proc.comm.bcast(buf.sim, 0, SIZE, root=0)
+    return buf.array.tobytes()
+
+
+def degraded_exchange_program(proc):
+    """Gatherv + alltoallv back to back (all blocks beyond the threshold)."""
+    size = proc.comm.size
+    counts = [SIZE // 2 + 256 * r for r in range(size)]
+    displs = list(np.cumsum([0] + counts[:-1]))
+    send = proc.alloc_array(counts[proc.rank], "u1")
+    send.array[:] = proc.rank + 1
+    recv = proc.alloc_array(sum(counts), "u1") if proc.rank == 0 else None
+    yield from proc.comm.gatherv(send.sim, recv.sim if recv else None,
+                                 counts, displs, root=0)
+    a2a_counts = [24 * KiB] * size
+    a2a_displs = [24 * KiB * r for r in range(size)]
+    sbuf = proc.alloc_array(24 * KiB * size, "u1")
+    rbuf = proc.alloc_array(24 * KiB * size, "u1")
+    sbuf.array[:] = proc.rank + 1
+    yield from proc.comm.alltoallv(sbuf.sim, a2a_counts, a2a_displs,
+                                   rbuf.sim, a2a_counts, a2a_displs)
+    return rbuf.array.tobytes()
+
+
+def alltoallv_mismatch_program(proc):
+    """Inconsistent count matrices: the collective must abort, not leak.
+
+    Rank 1 believes rank 0 sends it half of what rank 0 actually sends, so
+    the exchange raises mid-collective while every rank still holds a
+    registered send region — the regression fixture for the abort-path
+    cookie reclaim.
+    """
+    size = proc.comm.size
+    count = 32 * KiB
+    send_counts = [count] * size
+    recv_counts = [count] * size
+    if proc.rank == 1:
+        recv_counts[0] = count // 2
+    displs = [count * r for r in range(size)]
+    recv_displs = list(np.cumsum([0] + recv_counts[:-1]))
+    send = proc.alloc_array(count * size, "u1")
+    recv = proc.alloc_array(sum(recv_counts), "u1")
+    yield from proc.comm.alltoallv(send.sim, send_counts, displs,
+                                   recv.sim, recv_counts, recv_displs)
+    return proc.now
+
+
 ABLATION_ROOT_READS = KNEM_COLL.with_tuning(name="KNEM-RootReads",
                                             gather_direction_write=False)
+

@@ -264,6 +264,136 @@ class TestEdgeShapes:
         assert all(run(program, stack=stack, nprocs=4).values)
 
 
+def concat(parts):
+    return np.concatenate(parts) if parts else np.zeros(0, dtype="u1")
+
+
+@pytest.mark.parametrize("stack", ALL, ids=IDS)
+class TestDifferentialOracle:
+    """Ragged v-collectives against an independently built NumPy oracle.
+
+    The count vectors mix zero-length, tiny, and beyond-threshold entries
+    in one call, so each component crosses its delegation and topology
+    branches mid-collective; the expected payloads are assembled with plain
+    numpy from the same deterministic per-rank patterns and compared
+    byte-for-byte with what the ranks hand back.
+    """
+
+    # 8 ranks: two silent ranks, sub-cacheline scraps, and three blocks
+    # beyond KNEM-Coll's 16 KB switch-point
+    COUNTS = [0, 20 * KiB, 3, 40 * KiB, 0, 17, 25 * KiB, KiB]
+
+    @staticmethod
+    def displs(counts):
+        return list(np.cumsum([0] + list(counts[:-1])))
+
+    def test_scatterv_matches_oracle(self, stack):
+        counts, displs = self.COUNTS, self.displs(self.COUNTS)
+        parts = [pattern(r, counts[r], salt=11) for r in range(len(counts))]
+
+        def program(proc):
+            send = None
+            if proc.rank == 3:
+                send = proc.wrap(concat(parts))
+            recv = proc.alloc_array(max(counts[proc.rank], 1), "u1")
+            yield from proc.comm.scatterv(send.sim if send else None, counts,
+                                          displs, recv.sim, root=3)
+            return recv.array[:counts[proc.rank]].tobytes()
+
+        res = run(program, stack=stack)
+        assert res.values == [p.tobytes() for p in parts]
+
+    def test_gatherv_matches_oracle(self, stack):
+        counts, displs = self.COUNTS, self.displs(self.COUNTS)
+        oracle = concat([pattern(r, counts[r], salt=13)
+                         for r in range(len(counts))]).tobytes()
+
+        def program(proc):
+            mine = counts[proc.rank]
+            send = proc.wrap(pattern(proc.rank, mine, salt=13)) \
+                if mine else proc.alloc_array(1, "u1")
+            recv = (proc.alloc_array(sum(counts), "u1")
+                    if proc.rank == 5 else None)
+            yield from proc.comm.gatherv(send.sim, recv.sim if recv else None,
+                                         counts, displs, root=5)
+            return recv.array.tobytes() if recv is not None else None
+
+        res = run(program, stack=stack)
+        assert res.values[5] == oracle
+
+    def test_allgatherv_matches_oracle(self, stack):
+        counts, displs = self.COUNTS, self.displs(self.COUNTS)
+        oracle = concat([pattern(r, counts[r], salt=15)
+                         for r in range(len(counts))]).tobytes()
+
+        def program(proc):
+            mine = counts[proc.rank]
+            send = proc.wrap(pattern(proc.rank, mine, salt=15)) \
+                if mine else proc.alloc_array(1, "u1")
+            recv = proc.alloc_array(sum(counts), "u1")
+            yield from proc.comm.allgatherv(send.sim, recv.sim, counts,
+                                            displs)
+            return recv.array.tobytes()
+
+        res = run(program, stack=stack)
+        assert res.values == [oracle] * len(counts)
+
+    @pytest.mark.parametrize("regime", ["delegated", "knem"])
+    def test_alltoallv_with_holes_matches_oracle(self, stack, regime):
+        # zero blocks punched into the exchange; every rank's largest send
+        # stays on the same side of the 16 KB switch-point (KNEM-Coll's
+        # delegation decision is per-rank)
+        base = 512 if regime == "delegated" else 18 * KiB
+        nprocs = 8
+
+        def block(r, p):
+            return 0 if (r + p) % 3 == 0 else base + 32 * (r + p)
+
+        def payload(r, p):
+            return pattern(r * nprocs + p, block(r, p), salt=17)
+
+        oracles = [concat([payload(p, q) for p in range(nprocs)]).tobytes()
+                   for q in range(nprocs)]
+
+        def program(proc):
+            size = proc.comm.size
+            send_counts = [block(proc.rank, p) for p in range(size)]
+            recv_counts = [block(p, proc.rank) for p in range(size)]
+            send_displs = self.displs(send_counts)
+            recv_displs = self.displs(recv_counts)
+            send = proc.wrap(concat([payload(proc.rank, p)
+                                     for p in range(size)]))
+            recv = proc.alloc_array(max(sum(recv_counts), 1), "u1")
+            yield from proc.comm.alltoallv(send.sim, send_counts, send_displs,
+                                           recv.sim, recv_counts, recv_displs)
+            return recv.array[:sum(recv_counts)].tobytes()
+
+        res = run(program, stack=stack, nprocs=nprocs)
+        assert res.values == oracles
+
+    def test_single_rank_v_collectives(self, stack):
+        n = 24 * KiB
+        data = pattern(0, n, salt=19)
+
+        def program(proc):
+            send = proc.wrap(data)
+            recv = proc.alloc_array(n, "u1")
+            yield from proc.comm.scatterv(send.sim, [n], [0], recv.sim, root=0)
+            ok = np.array_equal(recv.array, data)
+            recv.array[:] = 0
+            yield from proc.comm.gatherv(send.sim, recv.sim, [n], [0], root=0)
+            ok &= np.array_equal(recv.array, data)
+            recv.array[:] = 0
+            yield from proc.comm.allgatherv(send.sim, recv.sim, [n], [0])
+            ok &= np.array_equal(recv.array, data)
+            recv.array[:] = 0
+            yield from proc.comm.alltoallv(send.sim, [n], [0],
+                                           recv.sim, [n], [0])
+            return ok and np.array_equal(recv.array, data)
+
+        assert run(program, stack=stack, nprocs=1).values == [True]
+
+
 @pytest.mark.parametrize("machine,nprocs", [("zoot", 16), ("ig", 48)],
                          ids=["zoot16", "ig48"])
 def test_knem_coll_full_machine(machine, nprocs):

@@ -1,0 +1,314 @@
+"""Differential fault-injection tests: collectives survive KNEM outages.
+
+Each test runs a collective program twice — once on a healthy machine and
+once with a :class:`FaultPlan` armed — and requires the faulted run to be
+byte-identical to the healthy one with zero leaked KNEM regions.  Sticky
+plans force the per-operation copy-in/copy-out fallback (and, with the
+strict stack, job-wide disqualification); transient plans must recover via
+the retry path and requalify the device.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmFaultInjected
+from repro.faults import FaultPlan, FaultRule
+from repro.mpi import Job, Machine, stacks
+from repro.units import KiB
+
+COUNT = 64 * KiB  # above KNEM-Coll's 16 KB delegation threshold
+
+
+def pattern(rank: int, n: int, salt: int = 0) -> np.ndarray:
+    return ((np.arange(n) * (rank + 3) + salt) % 251).astype(np.uint8)
+
+
+# --------------------------------------------------------------------------
+# one deterministic program per collective; each returns the received bytes
+# so runs can be compared byte-for-byte across machines
+# --------------------------------------------------------------------------
+
+def bcast_program(proc):
+    buf = proc.alloc_array(COUNT, "u1")
+    if proc.rank == 1:
+        buf.array[:] = pattern(1, COUNT)
+    yield from proc.comm.bcast(buf.sim, 0, COUNT, root=1)
+    return buf.array.tobytes()
+
+
+def _ragged(size):
+    counts = [24 * KiB + 512 * r for r in range(size)]
+    displs = list(np.cumsum([0] + counts[:-1]))
+    return counts, displs
+
+
+def scatterv_program(proc):
+    size = proc.comm.size
+    counts, displs = _ragged(size)
+    send = None
+    if proc.rank == 0:
+        send = proc.alloc_array(sum(counts), "u1")
+        for r in range(size):
+            send.array[displs[r]:displs[r] + counts[r]] = \
+                pattern(r, counts[r], salt=2)
+    recv = proc.alloc_array(counts[proc.rank], "u1")
+    yield from proc.comm.scatterv(send.sim if send else None, counts, displs,
+                                  recv.sim, root=0)
+    return recv.array.tobytes()
+
+
+def gatherv_program(proc):
+    size = proc.comm.size
+    counts, displs = _ragged(size)
+    send = proc.alloc_array(counts[proc.rank], "u1")
+    send.array[:] = pattern(proc.rank, counts[proc.rank], salt=3)
+    recv = proc.alloc_array(sum(counts), "u1") if proc.rank == 2 else None
+    yield from proc.comm.gatherv(send.sim, recv.sim if recv else None,
+                                 counts, displs, root=2)
+    return recv.array.tobytes() if recv is not None else b"non-root"
+
+
+def allgatherv_program(proc):
+    size = proc.comm.size
+    counts, displs = _ragged(size)
+    send = proc.alloc_array(counts[proc.rank], "u1")
+    send.array[:] = pattern(proc.rank, counts[proc.rank], salt=5)
+    recv = proc.alloc_array(sum(counts), "u1")
+    yield from proc.comm.allgatherv(send.sim, recv.sim, counts, displs)
+    return recv.array.tobytes()
+
+
+def alltoallv_program(proc):
+    size = proc.comm.size
+    # every rank's max send count stays above the 16 KB delegation point
+    def block(r, p):
+        return 20 * KiB + 256 * (r + p)
+
+    send_counts = [block(proc.rank, p) for p in range(size)]
+    send_displs = list(np.cumsum([0] + send_counts[:-1]))
+    recv_counts = [block(p, proc.rank) for p in range(size)]
+    recv_displs = list(np.cumsum([0] + recv_counts[:-1]))
+    send = proc.alloc_array(sum(send_counts), "u1")
+    for p in range(size):
+        send.array[send_displs[p]:send_displs[p] + send_counts[p]] = \
+            pattern(proc.rank * size + p, send_counts[p], salt=7)
+    recv = proc.alloc_array(sum(recv_counts), "u1")
+    yield from proc.comm.alltoallv(send.sim, send_counts, send_displs,
+                                   recv.sim, recv_counts, recv_displs)
+    return recv.array.tobytes()
+
+
+COLLECTIVES = {
+    "bcast": bcast_program,
+    "scatterv": scatterv_program,
+    "gatherv": gatherv_program,
+    "allgatherv": allgatherv_program,
+    "alltoallv": alltoallv_program,
+}
+
+PLANS = {
+    "all-sticky": lambda: FaultPlan.all_fail(sticky=True),
+    "register-sticky": lambda: FaultPlan.all_fail(("register",), sticky=True),
+    "copy-sticky": lambda: FaultPlan.all_fail(("copy",), sticky=True),
+    "destroy-sticky": lambda: FaultPlan.all_fail(("destroy",), sticky=True),
+    "random-30": lambda: FaultPlan.random(seed=3, rate=0.3),
+}
+
+
+def run_faulted(program, plan=None, stack=stacks.KNEM_COLL, nprocs=8,
+                machine="dancer", trace=False):
+    m = Machine.build(machine, trace=trace)
+    if plan is not None:
+        m.arm_faults(plan.fork())
+    job = Job(m, nprocs=nprocs, stack=stack)
+    res = job.run(program)
+    return m, res
+
+
+_REFS: dict = {}
+
+
+def reference(op, stack=stacks.KNEM_COLL):
+    """No-fault run of the collective (cached: programs are deterministic)."""
+    key = (op, stack.name)
+    if key not in _REFS:
+        _, res = run_faulted(COLLECTIVES[op], stack=stack)
+        _REFS[key] = res.values
+    return _REFS[key]
+
+
+def events(machine, name):
+    return [r for r in machine.tracer.records if r.category == name]
+
+
+class TestKnemCollDegradation:
+    @pytest.mark.parametrize("plan_name", sorted(PLANS))
+    @pytest.mark.parametrize("op", sorted(COLLECTIVES))
+    def test_byte_identical_under_faults(self, op, plan_name):
+        m, res = run_faulted(COLLECTIVES[op], PLANS[plan_name]())
+        assert res.values == reference(op), f"{op} diverged under {plan_name}"
+        assert m.knem.live_regions == 0
+        assert m.knem.stats_injected_faults > 0
+        assert m.knem.stats_injected_faults == m.knem.fault_plan.total_injected
+
+    def test_total_outage_emits_degrade_events(self):
+        m, res = run_faulted(bcast_program, PLANS["all-sticky"](), trace=True)
+        assert res.values == reference("bcast")
+        degrades = events(m, "knem.degrade")
+        assert degrades
+        for rec in degrades:
+            assert {"core", "op", "consecutive", "disqualified"} <= set(rec.fields)
+        assert m.knem.health.total_failures == len(degrades)
+
+    def test_transient_double_failure_then_requalify(self):
+        # both attempts of the first registration per core fail, later
+        # calls succeed: one degrade per affected core, then a requalify
+        plan = FaultPlan([FaultRule(op="register", index=0),
+                          FaultRule(op="register", index=1)])
+        m, res = run_faulted(bcast_program, plan, trace=True)
+        assert res.values == reference("bcast")
+        assert events(m, "knem.degrade")
+        assert events(m, "knem.requalify")
+        assert not m.knem.health.disqualified
+        assert m.knem.health.consecutive_failures == 0
+        assert m.knem.health.total_recoveries > 0
+        assert m.knem.live_regions == 0
+
+    def test_single_failure_recovered_by_retry_is_silent(self):
+        # one failed attempt, the in-call retry succeeds: no degrade event
+        plan = FaultPlan.nth_call("register", 0)
+        m, res = run_faulted(bcast_program, plan, trace=True)
+        assert res.values == reference("bcast")
+        assert m.knem.stats_injected_faults > 0
+        assert not events(m, "knem.degrade")
+        assert m.knem.live_regions == 0
+
+    def test_strict_stack_disqualifies_device(self):
+        m, res = run_faulted(alltoallv_program, PLANS["copy-sticky"](),
+                             stack=stacks.KNEM_COLL_STRICT, trace=True)
+        assert res.values == reference("alltoallv", stacks.KNEM_COLL_STRICT)
+        assert m.knem.health.disqualified
+        assert any(rec.fields["disqualified"]
+                   for rec in events(m, "knem.degrade"))
+        assert m.knem.live_regions == 0
+
+    def test_disqualification_is_final(self):
+        # once disqualified no requalify can ever fire, and a later
+        # collective on the same job stays correct via copy-in/copy-out
+        def program(proc):
+            first = yield from bcast_program(proc)
+            second = yield from gatherv_program(proc)
+            return (first, second)
+
+        m = Machine.build("dancer")
+        m.arm_faults(FaultPlan.all_fail(("register",), sticky=True))
+        job = Job(m, nprocs=8, stack=stacks.KNEM_COLL_STRICT)
+        res = job.run(program)
+        firsts = [v[0] for v in res.values]
+        seconds = [v[1] for v in res.values]
+        assert firsts == reference("bcast")
+        assert seconds == reference("gatherv")
+        assert m.knem.health.disqualified
+        assert not events(m, "knem.requalify")
+        assert m.knem.live_regions == 0
+
+    def test_root_reads_gather_ablation_degrades(self):
+        stack = stacks.KNEM_COLL.with_tuning(name="KNEM-RootReads-faulted",
+                                             gather_direction_write=False)
+        m, res = run_faulted(gatherv_program, PLANS["all-sticky"](),
+                             stack=stack)
+        assert res.values == reference("gatherv")
+        assert m.knem.live_regions == 0
+
+    @pytest.mark.parametrize("machine,nprocs", [("zoot", 16), ("ig", 48)],
+                             ids=["zoot16", "ig48"])
+    def test_full_machine_outage(self, machine, nprocs):
+        """Hierarchical paths (leaders, segments) degrade cleanly too."""
+        _, ref = run_faulted(bcast_program, machine=machine, nprocs=nprocs)
+        m, res = run_faulted(bcast_program, PLANS["all-sticky"](),
+                             machine=machine, nprocs=nprocs)
+        assert res.values == ref.values
+        assert m.knem.live_regions == 0
+
+
+class TestPmlDegradation:
+    """Point-to-point KNEM (Tuned-KNEM BTL) falls back per message."""
+
+    def test_sender_register_outage_falls_back_to_sm(self):
+        plan = FaultPlan.all_fail(("register",), sticky=True)
+        m, res = run_faulted(bcast_program, plan, stack=stacks.TUNED_KNEM)
+        assert res.values == reference("bcast", stacks.TUNED_KNEM)
+        assert m.knem.live_regions == 0
+        assert m.knem.stats_injected_faults > 0
+
+    def test_receiver_copy_failure_takes_retransmit_path(self):
+        # both copy attempts of a delivery fail -> NACK + copy-in/copy-out
+        # retransmission; payload must still arrive intact
+        plan = FaultPlan.all_fail(("copy",), sticky=True)
+        m, res = run_faulted(bcast_program, plan, stack=stacks.TUNED_KNEM)
+        assert res.values == reference("bcast", stacks.TUNED_KNEM)
+        assert m.knem.live_regions == 0
+
+    def test_random_faults_on_pml(self):
+        plan = FaultPlan.random(seed=17, rate=0.25)
+        m, res = run_faulted(gatherv_program, plan, stack=stacks.TUNED_KNEM)
+        assert res.values == reference("gatherv", stacks.TUNED_KNEM)
+        assert m.knem.live_regions == 0
+
+    def test_mpich_knem_lmt_degrades(self):
+        plan = FaultPlan.all_fail(sticky=True)
+        m, res = run_faulted(alltoallv_program, plan,
+                             stack=stacks.MPICH2_KNEM)
+        assert res.values == reference("alltoallv", stacks.MPICH2_KNEM)
+        assert m.knem.live_regions == 0
+
+
+class TestShmFaults:
+    def test_slot_fault_raises_typed_error_not_deadlock(self):
+        plan = FaultPlan.all_fail(("shm.slot",), sticky=True)
+        m = Machine.build("dancer")
+        m.arm_faults(plan.fork())
+        job = Job(m, nprocs=8, stack=stacks.TUNED_SM)
+        with pytest.raises(ShmFaultInjected):
+            job.run(bcast_program)
+
+    def test_slot_fault_mid_knem_coll_leaks_nothing(self):
+        # Register faults degrade some sends to the copy-in/copy-out FIFO,
+        # whose slot acquisition then faults: the job aborts while other
+        # ranks still hold registered regions.  The abort path must reclaim
+        # every one of them (seed chosen so regions are live at the abort).
+        plan = FaultPlan([FaultRule(op="register", probability=0.5),
+                          FaultRule(op="shm.slot", sticky=True)], seed=1)
+        m = Machine.build("dancer")
+        m.arm_faults(plan.fork())
+        job = Job(m, nprocs=8, stack=stacks.KNEM_COLL)
+        with pytest.raises(ShmFaultInjected):
+            job.run(alltoallv_program)
+        assert m.knem.stats_registrations > 0
+        assert m.knem.stats_reclaims > 0
+        assert m.knem.live_regions == 0
+
+
+class TestZeroOverhead:
+    # runs are compared with a tight relative tolerance: simulated times
+    # carry ~1-ulp run-to-run float jitter even on identical schedules,
+    # far below the <2% budget the fault hooks must respect
+
+    def test_unarmed_machine_timing_identical(self):
+        _, plain = run_faulted(bcast_program)
+        m = Machine.build("dancer")
+        m.arm_faults(None)
+        disarmed = Job(m, nprocs=8, stack=stacks.KNEM_COLL).run(bcast_program)
+        assert math.isclose(disarmed.elapsed, plain.elapsed, rel_tol=1e-9)
+        assert disarmed.values == plain.values
+
+    def test_never_matching_plan_timing_identical(self):
+        # armed but silent: the bcast fast path may not slow down at all
+        _, plain = run_faulted(bcast_program)
+        plan = FaultPlan([FaultRule(op="register", core=10**6)])
+        m, armed = run_faulted(bcast_program, plan)
+        assert math.isclose(armed.elapsed, plain.elapsed, rel_tol=1e-9)
+        assert armed.values == plain.values
+        assert m.knem.stats_injected_faults == 0

@@ -1,0 +1,133 @@
+"""FaultPlan unit tests: determinism, matching, latching, typed errors."""
+
+import pytest
+
+from repro.errors import FaultInjected, KnemFaultInjected, ShmFaultInjected
+from repro.faults import ALL_OPS, KNEM_OPS, FaultPlan, FaultRule
+
+
+def fire_sequence(plan, calls):
+    return [plan.fire(op, core, size) for op, core, size in calls]
+
+
+CALLS = [("register", c % 4, 1024 * (c + 1)) for c in range(32)] + \
+        [("copy", c % 4, 4096) for c in range(32)] + \
+        [("destroy", 0, 0) for _ in range(8)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = FaultPlan.random(seed=7, rate=0.4)
+        b = FaultPlan.random(seed=7, rate=0.4)
+        assert fire_sequence(a, CALLS) == fire_sequence(b, CALLS)
+        assert a.injected == b.injected
+
+    def test_different_seed_different_sequence(self):
+        a = FaultPlan.random(seed=1, rate=0.5)
+        b = FaultPlan.random(seed=2, rate=0.5)
+        assert fire_sequence(a, CALLS) != fire_sequence(b, CALLS)
+
+    def test_fork_resets_counters_and_latches(self):
+        plan = FaultPlan.nth_call("register", 3, sticky=True)
+        fire_sequence(plan, CALLS)
+        assert plan.total_injected > 0
+        fresh = plan.fork()
+        assert fresh.calls == 0
+        assert fresh.total_injected == 0
+        assert fresh.rules == plan.rules and fresh.seed == plan.seed
+        # the fork replays identically to a brand-new plan
+        assert fire_sequence(fresh, CALLS) == \
+            fire_sequence(FaultPlan.nth_call("register", 3, sticky=True), CALLS)
+
+
+class TestMatching:
+    def test_all_fail_hits_every_knem_op(self):
+        plan = FaultPlan.all_fail()
+        assert all(plan.fire(op, 0, 64) for op in KNEM_OPS)
+        assert not plan.fire("shm.slot", 0, 64)  # not in KNEM_OPS default
+
+    def test_nth_call_counts_per_op_core_pair(self):
+        plan = FaultPlan.nth_call("copy", 2)
+        # index counts separately per (op, core)
+        assert [plan.fire("copy", 5, 0) for _ in range(4)] == \
+            [False, False, True, False]
+        assert [plan.fire("copy", 6, 0) for _ in range(4)] == \
+            [False, False, True, False]
+        # other ops never match
+        assert not any(plan.fire("register", 5, 0) for _ in range(4))
+
+    def test_core_targeting(self):
+        plan = FaultPlan([FaultRule(op="register", core=3)])
+        assert not plan.fire("register", 2, 0)
+        assert plan.fire("register", 3, 0)
+
+    def test_size_window(self):
+        plan = FaultPlan([FaultRule(op="copy", min_size=1024, max_size=4096)])
+        assert not plan.fire("copy", 0, 512)
+        assert plan.fire("copy", 0, 1024)
+        assert plan.fire("copy", 0, 4096)
+        assert not plan.fire("copy", 0, 8192)
+
+    def test_probability_rate(self):
+        plan = FaultPlan.random(seed=11, rate=0.3)
+        n = 2000
+        fired = sum(plan.fire("copy", 0, 64) for _ in range(n))
+        assert 0.2 * n < fired < 0.4 * n
+
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan.random(seed=11, rate=0.0)
+        assert not any(plan.fire("copy", 0, 64) for _ in range(100))
+
+
+class TestLatching:
+    def test_sticky_latches_after_first_fire(self):
+        plan = FaultPlan.nth_call("register", 2, sticky=True)
+        seq = [plan.fire("register", 0, 0) for _ in range(6)]
+        assert seq == [False, False, True, True, True, True]
+
+    def test_sticky_latch_ignores_index_but_keeps_site_filter(self):
+        plan = FaultPlan([FaultRule(op="copy", index=0, sticky=True,
+                                    min_size=100)])
+        assert plan.fire("copy", 0, 200)       # trips and latches
+        assert plan.fire("copy", 0, 200)       # latched: index ignored
+        assert not plan.fire("copy", 0, 50)    # size window still applies
+        assert not plan.fire("register", 0, 200)
+
+    def test_max_fires_caps_nonsticky_rule(self):
+        plan = FaultPlan([FaultRule(op="copy", max_fires=2)])
+        seq = [plan.fire("copy", 0, 0) for _ in range(5)]
+        assert seq == [True, True, False, False, False]
+
+    def test_injection_accounting(self):
+        plan = FaultPlan.all_fail(("register", "copy"))
+        for _ in range(3):
+            plan.fire("register", 0, 0)
+        plan.fire("copy", 1, 0)
+        plan.fire("destroy", 1, 0)
+        assert plan.injected == {"register": 3, "copy": 1}
+        assert plan.total_injected == 4
+        assert plan.calls == 5
+
+
+class TestErrorsAndValidation:
+    def test_exception_types(self):
+        plan = FaultPlan.all_fail(ALL_OPS)
+        for op in KNEM_OPS:
+            exc = plan.exception(op, 2, 128)
+            assert isinstance(exc, KnemFaultInjected)
+            assert isinstance(exc, FaultInjected)
+        assert isinstance(plan.exception("shm.slot", 2, 128), ShmFaultInjected)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultRule(op="mmap")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(op="copy", probability=1.5)
+
+    def test_empty_plan_is_unarmed(self):
+        plan = FaultPlan([])
+        assert not plan.armed
+        assert not plan.fire("register", 0, 0)
+        assert FaultPlan.all_fail().armed

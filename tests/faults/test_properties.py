@@ -1,0 +1,124 @@
+"""Property-based fault schedules: correctness or a clean typed error.
+
+Hypothesis draws random fault plans — op mix, rate, stickiness, seed — and
+runs each collective under them on the paper machines.  Any schedule over
+the KNEM driver ops must leave the result byte-identical to the no-fault
+run (retry, per-operation fallback, and disqualification absorb every
+fault).  Schedules that also break shared-memory slot acquisition have no
+transport left to degrade to, so they may instead abort with a typed
+:class:`FaultInjected` error — but never deadlock, corrupt data, or leak a
+registered region.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultInjected
+from repro.faults import ALL_OPS, KNEM_OPS, FaultPlan
+from repro.mpi import Job, Machine, stacks
+from tests.faults.test_degradation import COLLECTIVES
+
+MACHINES = [("zoot", 16), ("ig", 16)]
+
+KNEM_OP_MIXES = [("register",), ("copy",), ("destroy",),
+                 ("register", "copy"), KNEM_OPS]
+ANY_OP_MIXES = KNEM_OP_MIXES + [("shm.slot",), ALL_OPS]
+
+
+def plan_strategy(op_mixes):
+    return st.builds(
+        FaultPlan.random,
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.05, max_value=0.95),
+        ops=st.sampled_from(op_mixes),
+        sticky=st.booleans(),
+    )
+
+
+_REFS: dict = {}
+
+
+def reference(machine, nprocs, op):
+    key = (machine, nprocs, op)
+    if key not in _REFS:
+        job = Job(Machine.build(machine), nprocs=nprocs,
+                  stack=stacks.KNEM_COLL)
+        _REFS[key] = job.run(COLLECTIVES[op]).values
+    return _REFS[key]
+
+
+def run_plan(machine, nprocs, op, plan):
+    m = Machine.build(machine)
+    m.arm_faults(plan.fork())
+    job = Job(m, nprocs=nprocs, stack=stacks.KNEM_COLL)
+    res = job.run(COLLECTIVES[op])
+    return m, res
+
+
+common = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+@pytest.mark.parametrize("machine,nprocs", MACHINES,
+                         ids=[m for m, _ in MACHINES])
+@pytest.mark.parametrize("op", sorted(COLLECTIVES))
+class TestKnemFaultProperties:
+    @settings(max_examples=12, **common)
+    @given(plan=plan_strategy(KNEM_OP_MIXES))
+    def test_any_knem_schedule_is_absorbed(self, op, machine, nprocs, plan):
+        m, res = run_plan(machine, nprocs, op, plan)
+        assert res.values == reference(machine, nprocs, op), \
+            f"{op} corrupted by {plan!r}"
+        assert m.knem.live_regions == 0
+
+
+@pytest.mark.parametrize("op", sorted(COLLECTIVES))
+class TestFullFaultProperties:
+    @settings(max_examples=10, **common)
+    @given(plan=plan_strategy(ANY_OP_MIXES))
+    def test_completes_or_fails_cleanly(self, op, plan):
+        machine, nprocs = MACHINES[0]
+        try:
+            m, res = run_plan(machine, nprocs, op, plan)
+        except FaultInjected:
+            # clean typed abort is acceptable only for SHM faults (no
+            # transport left below shared memory); the machine of the
+            # aborted job is unreachable here, so leak-freedom for this
+            # branch is asserted by the explicit test below
+            assert any(r.op == "shm.slot" for r in plan.rules)
+        else:
+            assert res.values == reference(machine, nprocs, op)
+            assert m.knem.live_regions == 0
+
+
+@settings(max_examples=10, **common)
+@given(plan=plan_strategy([("shm.slot",), ALL_OPS]),
+       op=st.sampled_from(sorted(COLLECTIVES)))
+def test_aborted_runs_leak_nothing(op, plan):
+    machine, nprocs = MACHINES[0]
+    m = Machine.build(machine)
+    m.arm_faults(plan.fork())
+    job = Job(m, nprocs=nprocs, stack=stacks.KNEM_COLL)
+    try:
+        job.run(COLLECTIVES[op])
+    except FaultInjected:
+        pass
+    assert m.knem.live_regions == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       rate=st.floats(min_value=0.0, max_value=1.0),
+       sticky=st.booleans(),
+       calls=st.lists(st.tuples(st.sampled_from(ALL_OPS),
+                                st.integers(0, 63),
+                                st.integers(0, 2**20)),
+                      max_size=200))
+def test_plans_replay_deterministically(seed, rate, sticky, calls):
+    a = FaultPlan.random(seed=seed, rate=rate, ops=ALL_OPS, sticky=sticky)
+    b = a.fork()
+    seq_a = [a.fire(*c) for c in calls]
+    assert seq_a == [b.fire(*c) for c in calls]
+    assert a.injected == b.injected
