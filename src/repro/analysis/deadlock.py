@@ -65,21 +65,31 @@ def check_deadlock(model: TraceModel) -> Iterator[Finding]:
         return
     blocked = _blocked_ranks(model)
 
-    # Wait-for edges among the blocked ranks.
+    # Wait-for edges among the blocked ranks.  Edges pointing at a rank
+    # that died (fail-stop crash) are annotated: the wait is explained by
+    # the death, not by a cyclic schedule — a crashed-rank hang is
+    # degraded, not deadlocked.
+    dead = set(model.dead_ranks)
+
+    def _died(rank: int) -> str:
+        return " — peer rank died (fail-stop)" if rank in dead else ""
+
     edges: dict[int, list[tuple[int, str]]] = {}
     for hb, (src, dst) in sorted(model.outstanding_sends.items()):
-        if src in blocked:
+        if src in blocked and src not in dead:
             edges.setdefault(src, []).append(
-                (dst, f"send to rank {dst} never completed (hb token {hb})"))
+                (dst, f"send to rank {dst} never completed "
+                      f"(hb token {hb}){_died(dst)}"))
     any_source: list[int] = []
     for req, (rank, src) in sorted(model.pending_recvs.items()):
-        if rank not in blocked:
+        if rank not in blocked or rank in dead:
             continue
         if src is None:
             any_source.append(rank)
         else:
             edges.setdefault(rank, []).append(
-                (src, f"receive from rank {src} never matched (request {req})"))
+                (src, f"receive from rank {src} never matched "
+                      f"(request {req}){_died(src)}"))
 
     cycle = _find_cycle(edges)
     if cycle is not None:

@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simtime.trace import TraceRecord
 
 __all__ = ["Access", "CopyUse", "Region", "Failure", "HealthEvent",
-           "TraceModel", "build_model"]
+           "RankEvent", "TraceModel", "build_model"]
 
 #: Copy-record labels that double-count a ``knem.copy`` record and must be
 #: skipped when collecting accesses.
@@ -141,6 +141,18 @@ class HealthEvent:
     disqualified: bool
 
 
+@dataclass
+class RankEvent:
+    """One process-level fault event (``rank.crash``/``rank.stall``) or a
+    ``watchdog.timeout`` (rank is ``None`` for machine-wide events)."""
+
+    index: int
+    rank: Optional[int]
+    kind: str                     # "crash" | "stall" | "timeout"
+    op: str
+    fields: dict[str, Any]
+
+
 class TraceModel:
     """Everything the checkers need, extracted from one record stream."""
 
@@ -154,6 +166,12 @@ class TraceModel:
         self.failures: list[Failure] = []
         #: KNEM health transitions (fault-injected degraded runs).
         self.health_events: list[HealthEvent] = []
+        #: process-level fault events (crash/stall/watchdog), alongside
+        #: ``health_events`` — a degraded-but-clean schedule shows these
+        #: without any race/deadlock findings.
+        self.rank_events: list[RankEvent] = []
+        #: world ranks that died (fail-stop) during the run, in crash order.
+        self.dead_ranks: list[int] = []
         #: hb token -> (sender rank, dest world rank) for sends that never
         #: recorded ``mpi.send_done`` (the sender is still inside the send).
         self.outstanding_sends: dict[int, tuple[int, int]] = {}
@@ -310,6 +328,26 @@ class TraceModel:
             f.get("after_failures", 0), False,
         ))
 
+    def _on_rank_crash(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        rank = f.get("rank")
+        self._tick(rank)
+        self.rank_events.append(RankEvent(index, rank, "crash",
+                                          f.get("op", ""), dict(f)))
+        if rank is not None and rank not in self.dead_ranks:
+            self.dead_ranks.append(rank)
+
+    def _on_rank_stall(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        rank = f.get("rank")
+        self._tick(rank)
+        self.rank_events.append(RankEvent(index, rank, "stall",
+                                          f.get("op", ""), dict(f)))
+
+    def _on_watchdog(self, index, rec, msg_snap, fin_snap):
+        self.rank_events.append(RankEvent(index, None, "timeout", "",
+                                          dict(rec.fields)))
+
     def _on_mem_copy(self, index, rec, msg_snap, fin_snap):
         f = rec.fields
         label = f.get("label", "")
@@ -341,6 +379,9 @@ class TraceModel:
         "knem.fail": _on_knem_fail,
         "knem.degrade": _on_degrade,
         "knem.requalify": _on_requalify,
+        "rank.crash": _on_rank_crash,
+        "rank.stall": _on_rank_stall,
+        "watchdog.timeout": _on_watchdog,
         "copy": _on_mem_copy,
     }
 

@@ -24,12 +24,14 @@ from repro.bench.report import render_table1
 __all__ = ["main"]
 
 
-def _run_one(name: str, machine: str | None, scale: str, csv: bool) -> None:
+def _run_one(name: str, machine: str | None, scale: str, csv: bool,
+             resume: bool) -> None:
     fn, takes_machine = EXPERIMENTS[name]
     machines = [machine] if machine else (
         list(MACHINE_RANKS) if takes_machine else [None])
     for m in machines:
-        result = fn(m, scale=scale) if takes_machine else fn(scale=scale)
+        result = (fn(m, scale=scale, resume=resume) if takes_machine
+                  else fn(scale=scale, resume=resume))
         print(result.render())
         print()
         if csv:
@@ -57,9 +59,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="table1: simulate every Nth ASP iteration")
     parser.add_argument("--csv", action="store_true",
                         help="also write results/<experiment>_<machine>.csv")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="journal each completed sweep cell to a checkpoint next to the "
+             "CSV and skip already-journaled cells when restarting an "
+             "interrupted run (sweep experiments only)")
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
+        if args.resume:
+            parser.error("--resume applies to sweep experiments, not table1")
         for machine in [args.machine] if args.machine else ["zoot", "ig"]:
             if machine not in ("zoot", "ig"):
                 parser.error("table1 runs on zoot or ig")
@@ -71,7 +80,7 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.machine, args.scale, args.csv)
+        _run_one(name, args.machine, args.scale, args.csv, args.resume)
     return 0
 
 

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.bench.harness import ExperimentResult, Series, run_sweep
-from repro.bench.imb import ImbSettings, imb_time
+from repro.bench.harness import ExperimentResult, checkpoint_path, run_sweep
+from repro.bench.imb import ImbSettings
 from repro.errors import BenchmarkError
 from repro.mpi import stacks as stk
 from repro.units import KiB, MiB
@@ -96,7 +96,8 @@ def _sizes(scale: str, sizes: list[int]) -> list[int]:
 
 
 def _paper_grid(experiment: str, operation: str, machine: str, scale: str,
-                stacks: Optional[Iterable] = None) -> ExperimentResult:
+                stacks: Optional[Iterable] = None,
+                resume: bool = False) -> ExperimentResult:
     ranks = MACHINE_RANKS[machine]
     return run_sweep(
         experiment=experiment,
@@ -107,12 +108,14 @@ def _paper_grid(experiment: str, operation: str, machine: str, scale: str,
         sizes=_sizes(scale, FIG_SIZES),
         settings=_settings(scale),
         reference="KNEM-Coll",
+        checkpoint=checkpoint_path(experiment, machine) if resume else None,
     )
 
 
 # ---------------------------------------------------------------- figure 4
 def figure4(scale: str = "bench",
-            pipeline_sizes: Optional[list[int]] = None) -> ExperimentResult:
+            pipeline_sizes: Optional[list[int]] = None,
+            resume: bool = False) -> ExperimentResult:
     """Pipeline-size sweep of the hierarchical pipelined Broadcast on IG.
 
     Series: ``linear``, ``no-pipeline``, and one per pipeline segment size;
@@ -128,57 +131,53 @@ def figure4(scale: str = "bench",
                               128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB]
         elif scale == "smoke":
             pipeline_sizes = [16 * KiB, 512 * KiB]
-    series = []
-    lin = Series("linear")
-    nop = Series("no-pipeline")
     base = stk.KNEM_COLL
-    for size in sizes:
-        lin.times[size] = imb_time(
-            "ig", base.with_tuning(hierarchical=False), 48, "bcast", size,
-            settings)
-        nop.times[size] = imb_time(
-            "ig", base.with_tuning(pipeline=False), 48, "bcast", size,
-            settings)
-    series.append(lin)
-    series.append(nop)
+    stacks = [
+        base.with_tuning(name="linear", hierarchical=False),
+        base.with_tuning(name="no-pipeline", pipeline=False),
+    ]
     for seg in pipeline_sizes:
-        s = Series(f"pipe-{seg // KiB}K")
-        cfg = base.with_tuning(pipeline_seg_intermediate=seg,
-                               pipeline_seg_large=seg,
-                               pipeline_large_at=1 << 62)
-        for size in sizes:
-            s.times[size] = imb_time("ig", cfg, 48, "bcast", size, settings)
-        series.append(s)
-    return ExperimentResult(
+        stacks.append(base.with_tuning(name=f"pipe-{seg // KiB}K",
+                                       pipeline_seg_intermediate=seg,
+                                       pipeline_seg_large=seg,
+                                       pipeline_large_at=1 << 62))
+    return run_sweep(
         experiment="fig4", machine="ig", operation="bcast", nprocs=48,
-        series=series, reference="no-pipeline",
+        stacks=stacks, sizes=sizes, settings=settings,
+        reference="no-pipeline",
+        checkpoint=checkpoint_path("fig4", "ig") if resume else None,
     )
 
 
 # ------------------------------------------------------------- figures 5-8
-def figure5(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def figure5(machine: str = "ig", scale: str = "bench",
+            resume: bool = False) -> ExperimentResult:
     """Broadcast, 5 stacks, normalized to KNEM-Coll (Figure 5)."""
-    return _paper_grid("fig5", "bcast", machine, scale)
+    return _paper_grid("fig5", "bcast", machine, scale, resume=resume)
 
 
-def figure6(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def figure6(machine: str = "ig", scale: str = "bench",
+            resume: bool = False) -> ExperimentResult:
     """Gather (Figure 6)."""
-    return _paper_grid("fig6", "gather", machine, scale)
+    return _paper_grid("fig6", "gather", machine, scale, resume=resume)
 
 
-def scatter_text(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def scatter_text(machine: str = "ig", scale: str = "bench",
+                 resume: bool = False) -> ExperimentResult:
     """Scatter (text-only results in Section VI-C)."""
-    return _paper_grid("scatter", "scatter", machine, scale)
+    return _paper_grid("scatter", "scatter", machine, scale, resume=resume)
 
 
-def figure7(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def figure7(machine: str = "ig", scale: str = "bench",
+            resume: bool = False) -> ExperimentResult:
     """AlltoAllv (Figure 7)."""
-    return _paper_grid("fig7", "alltoallv", machine, scale)
+    return _paper_grid("fig7", "alltoallv", machine, scale, resume=resume)
 
 
-def figure8(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def figure8(machine: str = "ig", scale: str = "bench",
+            resume: bool = False) -> ExperimentResult:
     """AllGather (Figure 8)."""
-    return _paper_grid("fig8", "allgather", machine, scale)
+    return _paper_grid("fig8", "allgather", machine, scale, resume=resume)
 
 
 # ---------------------------------------------------------------- table I
@@ -206,10 +205,11 @@ def table1(machine: str = "zoot", scale: str = "bench",
 
 
 # ---------------------------------------------------------------- ablations
-def ablation_direction(machine: str = "zoot", scale: str = "bench") -> ExperimentResult:
+def ablation_direction(machine: str = "zoot", scale: str = "bench",
+                       resume: bool = False) -> ExperimentResult:
     """Gather with vs without sender-writing direction control."""
     return _paper_grid(
-        "abl-direction", "gather", machine, scale,
+        "abl-direction", "gather", machine, scale, resume=resume,
         stacks=[stk.KNEM_COLL.with_tuning(name="KNEM-root-reads",
                                           gather_direction_write=False),
                 stk.KNEM_COLL],
@@ -241,20 +241,22 @@ def ablation_registration(machine: str = "dancer", scale: str = "bench") -> dict
     return out
 
 
-def ablation_topology(scale: str = "bench") -> ExperimentResult:
+def ablation_topology(scale: str = "bench",
+                      resume: bool = False) -> ExperimentResult:
     """IG Broadcast: topology-aware tree vs logical rank-order tree."""
     return _paper_grid(
-        "abl-topology", "bcast", "ig", scale,
+        "abl-topology", "bcast", "ig", scale, resume=resume,
         stacks=[stk.KNEM_COLL.with_tuning(name="KNEM-rank-order",
                                           topology_aware=False),
                 stk.KNEM_COLL],
     )
 
 
-def ablation_rotation(machine: str = "ig", scale: str = "bench") -> ExperimentResult:
+def ablation_rotation(machine: str = "ig", scale: str = "bench",
+                      resume: bool = False) -> ExperimentResult:
     """Alltoall: rotated (Figure 3) vs naive fetch order."""
     return _paper_grid(
-        "abl-rotation", "alltoall", machine, scale,
+        "abl-rotation", "alltoall", machine, scale, resume=resume,
         stacks=[stk.KNEM_COLL.with_tuning(name="KNEM-naive-order",
                                           rotate_alltoall=False),
                 stk.KNEM_COLL],

@@ -11,6 +11,7 @@ corresponding collective component" (with the sense inverted: values above
 from __future__ import annotations
 
 import csv
+import json
 import os
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
@@ -21,7 +22,8 @@ from repro.faults.plan import FaultPlan
 from repro.mpi.stacks import Stack
 from repro.units import fmt_size, fmt_time
 
-__all__ = ["Series", "ExperimentResult", "run_sweep", "results_dir"]
+__all__ = ["Series", "ExperimentResult", "run_sweep", "results_dir",
+           "checkpoint_path"]
 
 
 def results_dir() -> str:
@@ -40,12 +42,23 @@ class Series:
     times: dict[int, float] = field(default_factory=dict)
 
     def normalized_to(self, ref: "Series") -> dict[int, float]:
-        """This series' per-size runtime divided by ``ref``'s."""
+        """This series' per-size runtime divided by ``ref``'s.
+
+        Sizes the reference never measured are skipped; a reference time of
+        exactly zero is a measurement bug (a sweep cell cannot take no
+        simulated time) and raises :class:`~repro.errors.BenchmarkError`
+        rather than silently dropping the point.
+        """
         out = {}
         for size, t in self.times.items():
             rt = ref.times.get(size)
-            if rt:
-                out[size] = t / rt
+            if rt is None:
+                continue
+            if rt == 0.0:
+                raise BenchmarkError(
+                    f"cannot normalize {self.name!r} at {fmt_size(size)}: "
+                    f"reference series {ref.name!r} measured 0 s")
+            out[size] = t / rt
         return out
 
 
@@ -127,6 +140,65 @@ class ExperimentResult:
         return path
 
 
+def checkpoint_path(experiment: str, machine: str) -> str:
+    """Default on-disk checkpoint location, next to the experiment's CSV."""
+    return os.path.join(results_dir(),
+                        f"{experiment}_{machine}.checkpoint.json")
+
+
+def _sweep_header(experiment: str, machine: str, operation: str, nprocs: int,
+                  settings: ImbSettings) -> dict:
+    """Identity of a sweep: cells journaled under one header are only
+    reusable by a sweep with the same header (the fault plan is excluded —
+    it has no stable fingerprint — so resuming a faulted sweep with a
+    different plan is the caller's responsibility)."""
+    return {
+        "version": 1,
+        "experiment": experiment,
+        "machine": machine,
+        "operation": operation,
+        "nprocs": nprocs,
+        "settings": [settings.warmups, settings.max_iterations,
+                     settings.target_bytes, bool(settings.off_cache),
+                     settings.root],
+    }
+
+
+def _load_checkpoint(path: str, header: dict) -> dict[str, float]:
+    """Completed cells from ``path``; empty when absent or unreadable."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError) as err:
+        raise BenchmarkError(f"corrupt sweep checkpoint {path}: {err}") from err
+    if data.get("header") != header:
+        raise BenchmarkError(
+            f"sweep checkpoint {path} belongs to a different sweep "
+            f"(header mismatch); delete it to start over")
+    cells = data.get("cells", {})
+    if not isinstance(cells, dict):
+        raise BenchmarkError(f"corrupt sweep checkpoint {path}: no cell map")
+    return cells
+
+
+def _write_checkpoint(path: str, header: dict, cells: dict[str, float]) -> None:
+    """Atomic journal update: write a sibling temp file, then rename.
+
+    A crash between any two cells leaves either the previous checkpoint or
+    the new one on disk — never a torn file.  Floats go through ``json``
+    verbatim (``repr`` round-trip), so a resumed sweep reproduces CSVs
+    byte-for-byte.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump({"header": header, "cells": cells}, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def run_sweep(
     experiment: str,
     machine: str,
@@ -137,12 +209,19 @@ def run_sweep(
     settings: Optional[ImbSettings] = None,
     reference: Optional[str] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    checkpoint: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the (stack x size) grid and return the collected curves.
 
     ``fault_plan`` arms the schedule on every fresh machine of the sweep
     (forked per build, so call counters restart per cell); with the default
     ``None`` the kernel path stays on its zero-overhead fast path.
+
+    ``checkpoint`` names a JSON journal file: every completed (stack, size)
+    cell is recorded there atomically (write-temp-then-rename), and cells
+    already journaled are skipped on restart.  Because each cell builds a
+    fresh machine, a killed-and-resumed sweep produces the same times — and
+    therefore byte-identical CSVs — as an uninterrupted one.
     """
     stacks = list(stacks)
     sizes = list(sizes)
@@ -151,12 +230,26 @@ def run_sweep(
     settings = settings or ImbSettings()
     if fault_plan is not None:
         settings = replace(settings, fault_plan=fault_plan)
+    header: Optional[dict] = None
+    cells: dict[str, float] = {}
+    if checkpoint is not None:
+        header = _sweep_header(experiment, machine, operation, nprocs,
+                               settings)
+        cells = _load_checkpoint(checkpoint, header)
     series = []
     for stack in stacks:
         s = Series(stack.name)
         for size in sizes:
-            s.times[size] = imb_time(machine, stack, nprocs, operation, size,
-                                     settings)
+            key = f"{stack.name}|{size}"
+            done = cells.get(key)
+            if done is not None:
+                s.times[size] = done
+                continue
+            t = imb_time(machine, stack, nprocs, operation, size, settings)
+            s.times[size] = t
+            if checkpoint is not None:
+                cells[key] = t
+                _write_checkpoint(checkpoint, header, cells)
         series.append(s)
     return ExperimentResult(
         experiment=experiment,

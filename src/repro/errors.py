@@ -21,10 +21,14 @@ __all__ = [
     "KnemFaultInjected",
     "ShmFaultInjected",
     "ShmError",
+    "ProcessKilled",
+    "ProgressTimeout",
     "MpiError",
     "TruncationError",
     "CommunicatorError",
     "CollectiveError",
+    "RankCrashed",
+    "RankFailed",
     "BenchmarkError",
 ]
 
@@ -66,6 +70,51 @@ class DeadlockError(SimulationError):
             detail = ", ".join(self.blocked) if self.blocked else "<unknown>"
             msg = f"simulation deadlock; blocked processes: {detail}"
         super().__init__(msg)
+
+
+class ProcessKilled(SimulationError):
+    """Recorded as the failure value of a :meth:`Process.kill`-ed process."""
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason or "process killed")
+        self.reason = reason
+
+
+class ProgressTimeout(SimulationError):
+    """The watchdog deadline expired while rank programs were unfinished.
+
+    ``blocked`` lists the stuck non-daemon process names, ``waiting`` maps
+    each to the event it was parked on, and ``diagnosis`` carries the
+    deadlock checker's wait-cycle findings (empty when tracing was off).
+    """
+
+    def __init__(self, deadline: float, blocked: "list[str]",
+                 waiting: "dict[str, str] | None" = None,
+                 diagnosis: "list | None" = None):
+        self.deadline = deadline
+        self.blocked = list(blocked)
+        self.waiting = dict(waiting) if waiting else {}
+        self.diagnosis = list(diagnosis) if diagnosis else []
+        detail = ", ".join(
+            f"{name} (waiting on {self.waiting.get(name) or '<unknown event>'})"
+            for name in self.blocked
+        ) or "<none blocked; queue still busy>"
+        msg = (f"watchdog: no completion within deadline {deadline}; "
+               f"stuck: {detail}")
+        if self.diagnosis:
+            msg += "; diagnosis: " + "; ".join(
+                str(getattr(f, "message", f)) for f in self.diagnosis)
+        super().__init__(msg)
+
+    def report(self) -> str:
+        """Multi-line diagnosis report (CI artifact / log attachment)."""
+        lines = [f"ProgressTimeout after simulated deadline {self.deadline}"]
+        for name in self.blocked:
+            lines.append(f"  blocked: {name} waiting on "
+                         f"{self.waiting.get(name) or '<unknown event>'}")
+        for finding in self.diagnosis:
+            lines.append(f"  finding: {getattr(finding, 'message', finding)}")
+        return "\n".join(lines)
 
 
 class HardwareConfigError(ReproError):
@@ -132,6 +181,35 @@ class CommunicatorError(MpiError):
 
 class CollectiveError(MpiError):
     """A collective component hit an unsupported or inconsistent request."""
+
+
+class RankCrashed(SimulationError):
+    """Thrown inside a crashing rank's program to unwind it (fail-stop).
+
+    The rank itself dies with this exception; surviving peers observe the
+    death as :class:`RankFailed` instead.
+    """
+
+    def __init__(self, rank: int, reason: str = "injected crash"):
+        self.rank = rank
+        self.reason = reason
+        super().__init__(f"rank {rank} crashed: {reason}")
+
+
+class RankFailed(MpiError):
+    """A peer rank died while this rank was inside a collective (ULFM-style).
+
+    Raised at every *surviving* rank whose in-flight operation can no longer
+    complete.  ``rank`` is the world rank of the dead peer; ``op`` names the
+    operation the observer was in when the failure was delivered (best
+    effort — empty when the survivor was between operations).
+    """
+
+    def __init__(self, rank: int, op: str = ""):
+        self.rank = rank
+        self.op = op
+        where = f" during {op}" if op else ""
+        super().__init__(f"peer rank {rank} failed{where}")
 
 
 class BenchmarkError(ReproError):

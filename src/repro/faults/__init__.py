@@ -17,6 +17,7 @@ With no plan armed, the hooks cost a single ``is None`` test per ioctl.
 """
 
 from repro.faults.health import KnemHealth
-from repro.faults.plan import ALL_OPS, KNEM_OPS, FaultPlan, FaultRule
+from repro.faults.plan import ALL_OPS, KNEM_OPS, RANK_OPS, FaultPlan, FaultRule
 
-__all__ = ["ALL_OPS", "KNEM_OPS", "FaultPlan", "FaultRule", "KnemHealth"]
+__all__ = ["ALL_OPS", "KNEM_OPS", "RANK_OPS", "FaultPlan", "FaultRule",
+           "KnemHealth"]

@@ -28,13 +28,19 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import FaultInjected, KnemFaultInjected, ShmFaultInjected
 
-__all__ = ["KNEM_OPS", "ALL_OPS", "FaultRule", "FaultPlan"]
+__all__ = ["KNEM_OPS", "ALL_OPS", "RANK_OPS", "FaultRule", "FaultPlan"]
 
 #: KNEM driver entry points a plan can hook.
 KNEM_OPS = ("register", "copy", "destroy")
 
-#: Every hookable op, including shared-memory slot acquisition.
+#: Every hookable *kernel* op, including shared-memory slot acquisition.
 ALL_OPS = KNEM_OPS + ("shm.slot",)
+
+#: Process-level rule kinds: a rank dies (fail-stop) or stalls before
+#: participating in a collective.  Kept out of :data:`ALL_OPS` because the
+#: kernel-layer differential tests enumerate that tuple as the set of ops
+#: whose failures degrade gracefully in-place.
+RANK_OPS = ("rank.crash", "rank.stall")
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,13 @@ class FaultRule:
     matching its ``op``/``core``/size window, ignoring index and
     probability.  ``max_fires`` caps the number of injections of a
     non-sticky rule.
+
+    Rank-level rules (:data:`RANK_OPS`) add two fields: ``delay`` is the
+    stall duration of a ``rank.stall`` rule (simulated seconds the rank
+    sleeps before entering the collective), and ``at_time`` turns a
+    ``rank.crash``/``rank.stall`` rule into an absolute-simulated-time timer
+    armed at job launch instead of a per-collective-entry match (such rules
+    are skipped by :meth:`FaultPlan.fire`).
     """
 
     op: Optional[str] = None
@@ -59,12 +72,21 @@ class FaultRule:
     probability: float = 1.0
     sticky: bool = False
     max_fires: Optional[int] = None
+    delay: float = 0.0
+    at_time: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.op is not None and self.op not in ALL_OPS:
-            raise ValueError(f"unknown fault op {self.op!r}; known: {ALL_OPS}")
+        known = ALL_OPS + RANK_OPS
+        if self.op is not None and self.op not in known:
+            raise ValueError(f"unknown fault op {self.op!r}; known: {known}")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if self.delay < 0.0:
+            raise ValueError("stall delay must be non-negative")
+        if self.delay and self.op != "rank.stall":
+            raise ValueError("delay is only meaningful for op='rank.stall'")
+        if self.at_time is not None and self.op not in RANK_OPS:
+            raise ValueError("at_time is only meaningful for rank-level ops")
 
     def matches_site(self, op: str, core: int, size: int) -> bool:
         """Static part of the match: op, core, and size window."""
@@ -129,10 +151,49 @@ class FaultPlan:
             seed=seed,
         )
 
+    @classmethod
+    def crash(cls, *, core: Optional[int] = None, index: Optional[int] = None,
+              at_time: Optional[float] = None, probability: float = 1.0,
+              seed: int = 0) -> "FaultPlan":
+        """Kill a rank at its ``index``-th collective entry or at ``at_time``.
+
+        ``core`` selects the victim by bound core (``None`` matches every
+        rank — with ``index``/``probability`` narrowing who actually dies).
+        """
+        return cls([FaultRule(op="rank.crash", core=core, index=index,
+                              at_time=at_time, probability=probability)],
+                   seed=seed)
+
+    @classmethod
+    def stall(cls, delay: float, *, core: Optional[int] = None,
+              index: Optional[int] = None, probability: float = 1.0,
+              seed: int = 0) -> "FaultPlan":
+        """Delay a rank by ``delay`` simulated seconds before it enters the
+        matched collective."""
+        return cls([FaultRule(op="rank.stall", core=core, index=index,
+                              delay=delay, probability=probability)],
+                   seed=seed)
+
     # -- runtime ------------------------------------------------------------
     def fork(self) -> "FaultPlan":
         """A fresh-counter copy: same rules and seed, no latched state."""
         return FaultPlan(self.rules, seed=self.seed)
+
+    def timed_rules(self) -> list[FaultRule]:
+        """Rank-level rules armed at an absolute simulated time.
+
+        These never fire through :meth:`fire`; the job launcher schedules
+        them as simulator timers when the machine's plan is armed.
+        """
+        return [r for r in self.rules if r.at_time is not None]
+
+    def record(self, op: str) -> None:
+        """Count an injection delivered outside :meth:`fire` (timed rules)."""
+        self.injected[op] = self.injected.get(op, 0) + 1
+
+    def draw(self, op: str, core: int, index: int = 0) -> float:
+        """The deterministic site draw (timed-rule probability checks)."""
+        return _draw(self.seed, op, core, index)
 
     @property
     def armed(self) -> bool:
@@ -148,16 +209,26 @@ class FaultPlan:
         Every consultation advances the per-``(op, core)`` call index, so
         index-based rules see retries as distinct calls.
         """
+        return self.fire_rule(op, core, size) is not None
+
+    def fire_rule(self, op: str, core: int, size: int = 0) -> Optional[FaultRule]:
+        """Like :meth:`fire`, but returns the matched rule (``None`` = pass).
+
+        Callers that need rule payloads — a ``rank.stall`` rule's ``delay``
+        — use this; plain kernel hooks only need the boolean.
+        """
         key = (op, core)
         index = self._counters.get(key, 0)
         self._counters[key] = index + 1
         self.calls += 1
-        fired = False
+        hit: Optional[FaultRule] = None
         for rid, rule in enumerate(self.rules):
+            if rule.at_time is not None:
+                continue  # timer rules are armed at launch, not per call
             if not rule.matches_site(op, core, size):
                 continue
             if rid in self._latched:
-                fired = True
+                hit = rule
                 break
             if rule.index is not None and rule.index != index:
                 continue
@@ -169,11 +240,11 @@ class FaultPlan:
             self._fires[rid] = self._fires.get(rid, 0) + 1
             if rule.sticky:
                 self._latched.add(rid)
-            fired = True
+            hit = rule
             break
-        if fired:
+        if hit is not None:
             self.injected[op] = self.injected.get(op, 0) + 1
-        return fired
+        return hit
 
     def exception(self, op: str, core: int, size: int = 0) -> FaultInjected:
         """The typed error an injected failure of ``op`` raises."""

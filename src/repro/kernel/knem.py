@@ -210,6 +210,20 @@ class KnemDriver:
         self.tracer.emit("knem.deregister", core=core, cookie=cookie,
                          buf=region.buffer.id, forced=True)
 
+    def reclaim_owned(self, core: int) -> list[int]:
+        """Reclaim every live region registered by ``core`` (process death).
+
+        Models the kernel sweeping a dead process's /dev/knem fd: all of its
+        persistent cookies are released at once, with no simulated cost.
+        Returns the reclaimed cookies (deterministic registration order) so
+        callers can trace them.
+        """
+        cookies = [c for c, r in self._regions.items()
+                   if r.owner_core == core and r.alive]
+        for cookie in cookies:
+            self.reclaim(core, cookie)
+        return cookies
+
     def region(self, cookie: int) -> KnemRegion:
         """Kernel-internal lookup (no cost); raises on dead cookies."""
         region = self._regions.get(cookie)

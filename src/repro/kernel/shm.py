@@ -191,6 +191,33 @@ class FifoSegment:
             raise ShmError(f"slot {slot} out of range")
         self.free_slots.put(slot)
 
+    @property
+    def slots_outstanding(self) -> int:
+        """Slots not in the free pool: held by a sender or published."""
+        return self.n_slots - len(self.free_slots)
+
+    def reclaim(self) -> int:
+        """Reset the segment to pristine state (one endpoint died).
+
+        Models the kernel tearing down the dead process's mapping: every
+        in-flight fragment is discarded, the free pool refills to full
+        capacity, and the tx serialization lock is released.  Cost-free and
+        idempotent.  Blocked slot acquirers are forgotten, not woken — the
+        rank-failure path unwinds those processes separately.  Returns the
+        number of slots recovered.
+        """
+        leaked = self.slots_outstanding
+        self.full_queue.reset()
+        self.free_slots.reset()
+        for slot in range(self.n_slots):
+            self.free_slots.put(slot)
+        self.tx_lock.reset()
+        if leaked:
+            self.tracer.emit("shm.reclaim", fifo=self.name, slots=leaked,
+                             src_core=self.sender_core,
+                             dst_core=self.receiver_core)
+        return leaked
+
 
 class ShmWorld:
     """Factory/registry for mailboxes and per-pair FIFOs on one machine."""
@@ -221,6 +248,33 @@ class ShmWorld:
         elif box.owner_core != owner_core:
             raise ShmError(f"mailbox {key!r} already owned by core {box.owner_core}")
         return box
+
+    def reclaim_core(self, core: int) -> int:
+        """Reset every FIFO with a dead ``core`` endpoint; returns slots freed.
+
+        Deterministic iteration (FIFOs are created in program order) keeps
+        the reclamation trace stable across runs.
+        """
+        recovered = 0
+        for (snd, rcv), seg in self._fifos.items():
+            if core in (snd, rcv):
+                recovered += seg.reclaim()
+        return recovered
+
+    @property
+    def slots_outstanding(self) -> int:
+        """FIFO slots currently not in any free pool (leak accounting)."""
+        return sum(seg.slots_outstanding for seg in self._fifos.values())
+
+    def reclaim_all(self) -> int:
+        """Reset every FIFO (post-abort quiescence); returns slots freed.
+
+        Only safe when no legitimate transfer is in flight — the job
+        launcher calls this after the event queue drained following a rank
+        failure, when every surviving fragment belongs to an aborted
+        operation.
+        """
+        return sum(seg.reclaim() for seg in self._fifos.values())
 
     def fifo(
         self,

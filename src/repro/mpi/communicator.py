@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
-from repro.errors import CommunicatorError
+from repro.errors import (
+    CommunicatorError,
+    ProcessKilled,
+    RankCrashed,
+    RankFailed,
+)
 from repro.hardware.memory import SimBuffer
 from repro.mpi.matching import ANY_SOURCE, ANY_TAG
 from repro.mpi.status import Request, Status
@@ -142,73 +147,148 @@ class Comm:
         self._coll_seq += 1
         return CollCtx(self, self._coll_seq)
 
+    def _coll(self, op: str, gen, nbytes: int = 0):
+        """Guard one collective call with the rank-failure machinery.
+
+        Entry order: (1) ULFM semantics — a collective over a communicator
+        with a known-dead member fails immediately with
+        :class:`~repro.errors.RankFailed` (shrink and retry to make
+        progress); (2) armed ``rank.stall``/``rank.crash`` rules fire, the
+        per-(op, core) call index counting this rank's collective entries;
+        (3) the call registers in the world's active-collective table so a
+        peer dying mid-operation can deliver ``RankFailed`` here instead of
+        leaving this rank hung.  ``nbytes`` is the op's primary payload size
+        (what size-windowed rules match against).
+        """
+        world = self.world
+        proc = self.proc
+        wrank = proc.rank
+        dead = world.dead_in(self.shared.world_ranks)
+        if dead is not None:
+            gen.close()
+            raise RankFailed(dead, op)
+        plan = world.machine.fault_plan
+        if plan is not None:
+            rule = plan.fire_rule("rank.stall", proc.core, nbytes)
+            if rule is not None and rule.delay:
+                world.machine.tracer.emit("rank.stall", rank=wrank,
+                                          core=proc.core, op=op,
+                                          delay=rule.delay)
+                yield world.machine.sim.timeout(rule.delay)
+            if plan.fire_rule("rank.crash", proc.core, nbytes) is not None:
+                world.note_crash(wrank, op)
+                gen.close()
+                raise RankCrashed(wrank)
+        world.enter_coll(wrank, op, self)
+        try:
+            result = yield from gen
+            return result
+        except RankFailed:
+            # A peer died mid-operation: this rank's protocol children for
+            # the aborted collective must not outlive it (they would pin
+            # FIFO locks and slots forever, deadlocking the shrink-retry).
+            world.abort_local(wrank, op)
+            raise
+        finally:
+            world.exit_coll(wrank)
+
     def barrier(self):
-        yield from self.world.coll.barrier(self._ctx())
+        yield from self._coll("barrier", self.world.coll.barrier(self._ctx()))
 
     def bcast(self, buf: SimBuffer, offset: int, nbytes: int, root: int):
         self._check_rank(root)
-        yield from self.world.coll.bcast(self._ctx(), buf, offset, nbytes, root)
+        yield from self._coll(
+            "bcast",
+            self.world.coll.bcast(self._ctx(), buf, offset, nbytes, root),
+            nbytes)
 
     def scatter(self, sendbuf: Optional[SimBuffer], recvbuf: SimBuffer,
                 count: int, root: int):
         """Root's ``sendbuf`` holds ``size * count`` bytes; all receive ``count``."""
         self._check_rank(root)
-        yield from self.world.coll.scatter(self._ctx(), sendbuf, recvbuf,
-                                           count, root)
+        yield from self._coll(
+            "scatter",
+            self.world.coll.scatter(self._ctx(), sendbuf, recvbuf, count, root),
+            count)
 
     def scatterv(self, sendbuf: Optional[SimBuffer], counts: list[int],
                  displs: list[int], recvbuf: SimBuffer, root: int):
         self._check_rank(root)
         self._check_v(counts, displs)
-        yield from self.world.coll.scatterv(self._ctx(), sendbuf, counts,
-                                            displs, recvbuf, root)
+        yield from self._coll(
+            "scatterv",
+            self.world.coll.scatterv(self._ctx(), sendbuf, counts, displs,
+                                     recvbuf, root),
+            sum(counts))
 
     def gather(self, sendbuf: SimBuffer, recvbuf: Optional[SimBuffer],
                count: int, root: int):
         self._check_rank(root)
-        yield from self.world.coll.gather(self._ctx(), sendbuf, recvbuf,
-                                          count, root)
+        yield from self._coll(
+            "gather",
+            self.world.coll.gather(self._ctx(), sendbuf, recvbuf, count, root),
+            count)
 
     def gatherv(self, sendbuf: SimBuffer, recvbuf: Optional[SimBuffer],
                 counts: list[int], displs: list[int], root: int):
         self._check_rank(root)
         self._check_v(counts, displs)
-        yield from self.world.coll.gatherv(self._ctx(), sendbuf, recvbuf,
-                                           counts, displs, root)
+        yield from self._coll(
+            "gatherv",
+            self.world.coll.gatherv(self._ctx(), sendbuf, recvbuf, counts,
+                                    displs, root),
+            sum(counts))
 
     def allgather(self, sendbuf: SimBuffer, recvbuf: SimBuffer, count: int):
-        yield from self.world.coll.allgather(self._ctx(), sendbuf, recvbuf, count)
+        yield from self._coll(
+            "allgather",
+            self.world.coll.allgather(self._ctx(), sendbuf, recvbuf, count),
+            count)
 
     def allgatherv(self, sendbuf: SimBuffer, recvbuf: SimBuffer,
                    counts: list[int], displs: list[int]):
         self._check_v(counts, displs)
-        yield from self.world.coll.allgatherv(self._ctx(), sendbuf, recvbuf,
-                                              counts, displs)
+        yield from self._coll(
+            "allgatherv",
+            self.world.coll.allgatherv(self._ctx(), sendbuf, recvbuf, counts,
+                                       displs),
+            sum(counts))
 
     def alltoall(self, sendbuf: SimBuffer, recvbuf: SimBuffer, count: int):
-        yield from self.world.coll.alltoall(self._ctx(), sendbuf, recvbuf, count)
+        yield from self._coll(
+            "alltoall",
+            self.world.coll.alltoall(self._ctx(), sendbuf, recvbuf, count),
+            count)
 
     def reduce(self, sendbuf: SimBuffer, recvbuf: Optional[SimBuffer],
                count: int, root: int, dtype: str = "u1", op: str = "sum"):
         """Element-wise reduction of ``count`` bytes viewed as ``dtype``."""
         self._check_rank(root)
-        yield from self.world.coll.reduce(self._ctx(), sendbuf, recvbuf,
-                                          count, root, dtype=dtype, op=op)
+        yield from self._coll(
+            "reduce",
+            self.world.coll.reduce(self._ctx(), sendbuf, recvbuf, count, root,
+                                   dtype=dtype, op=op),
+            count)
 
     def allreduce(self, sendbuf: SimBuffer, recvbuf: SimBuffer, count: int,
                   dtype: str = "u1", op: str = "sum"):
-        yield from self.world.coll.allreduce(self._ctx(), sendbuf, recvbuf,
-                                             count, dtype=dtype, op=op)
+        yield from self._coll(
+            "allreduce",
+            self.world.coll.allreduce(self._ctx(), sendbuf, recvbuf, count,
+                                      dtype=dtype, op=op),
+            count)
 
     def alltoallv(self, sendbuf: SimBuffer, send_counts: list[int],
                   send_displs: list[int], recvbuf: SimBuffer,
                   recv_counts: list[int], recv_displs: list[int]):
         self._check_v(send_counts, send_displs)
         self._check_v(recv_counts, recv_displs)
-        yield from self.world.coll.alltoallv(
-            self._ctx(), sendbuf, send_counts, send_displs,
-            recvbuf, recv_counts, recv_displs,
-        )
+        yield from self._coll(
+            "alltoallv",
+            self.world.coll.alltoallv(
+                self._ctx(), sendbuf, send_counts, send_displs,
+                recvbuf, recv_counts, recv_displs),
+            sum(send_counts))
 
     # -- non-blocking collectives (MPI-3-style extension) ---------------------
     def _spawn_coll(self, gen, kind: str) -> Request:
@@ -218,11 +298,33 @@ class Comm:
         collectives keep distinct internal tags as long as every rank issues
         them in the same order (the MPI requirement).
         """
+        # ULFM check at call time only: a non-blocking collective over a
+        # communicator with a dead member errors immediately.  Crash/stall
+        # rules and mid-flight failure delivery apply to blocking
+        # collectives (the _coll guard); the child still carries the owner
+        # tag so a crash of *this* rank takes it down.
+        dead = self.world.dead_in(self.shared.world_ranks)
+        if dead is not None:
+            gen.close()
+            raise RankFailed(dead, kind)
         sim = self.proc.machine.sim
         req = Request(sim, kind)
-        child = sim.process(gen, name=f"{kind}[{self.rank}]")
-        child.add_callback(
-            lambda ev: req._finish(None) if ev.ok else req.event.fail(ev.value))
+        child = sim.process(gen, name=f"{kind}[{self.rank}]",
+                            owner=self.proc.rank)
+
+        def finish(ev):
+            if ev.ok:
+                req._finish(None)
+            else:
+                req.event.fail(ev.value)
+                if isinstance(ev.value, (RankCrashed, RankFailed,
+                                         ProcessKilled)):
+                    # A crash-path failure may go unobserved (the waiting
+                    # program itself died): don't let it abort the whole
+                    # simulation when the event is processed.
+                    req.event._defused = True
+
+        child.add_callback(finish)
         return req
 
     def ibcast(self, buf: SimBuffer, offset: int, nbytes: int,
@@ -304,6 +406,23 @@ class Comm:
         """Collective duplicate (generator); returns the new :class:`Comm`."""
         new = yield from self.split(color=0, key=self.rank)
         return new
+
+    def shrink(self) -> "Comm":
+        """This rank's view of the communicator rebuilt over survivors.
+
+        ULFM ``MPI_Comm_shrink``: after catching
+        :class:`~repro.errors.RankFailed`, call ``shrink()`` and retry the
+        collective on the returned communicator.  Local and cost-free in
+        the simulation (the world has global knowledge of the dead set);
+        every survivor resolves to the same context id.
+        """
+        shared = self.world.shrink(self.shared)
+        my_world = self.shared.world_ranks[self.rank]
+        if my_world not in shared.world_ranks:
+            raise CommunicatorError(
+                f"rank {self.rank} (world {my_world}) is dead; "
+                "cannot shrink from a failed rank")
+        return Comm(shared, self.proc, shared.world_ranks.index(my_world))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Comm cid={self.cid} rank={self.rank}/{self.size}>"

@@ -32,7 +32,14 @@ from typing import Any, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import FaultInjected, MpiError, TruncationError
+from repro.errors import (
+    FaultInjected,
+    MpiError,
+    ProcessKilled,
+    RankCrashed,
+    RankFailed,
+    TruncationError,
+)
 from repro.hardware.memory import SimBuffer
 from repro.kernel.knem import PROT_READ
 from repro.mpi.envelope import EAGER, FIN, RETX, RTS_KNEM, RTS_SM, Envelope, make_fin
@@ -85,7 +92,8 @@ class PmlEndpoint:
         self.cpu = Semaphore(world.machine.sim, 1, name=f"cpu[{proc.rank}]")
         self.sent_messages = 0
         self.received_messages = 0
-        self.sim.process(self._progress(), name=f"pml[{proc.rank}]", daemon=True)
+        self.sim.process(self._progress(), name=f"pml[{proc.rank}]",
+                         daemon=True, owner=proc.rank)
 
     def _cpu_copy(self, event_factory):
         """Run one copy (given as a zero-arg factory returning the completion
@@ -130,10 +138,38 @@ class PmlEndpoint:
         return self._send_impl(ticket, cid, src_rank, dest_world, tag, buf,
                                offset, nbytes, obj, hb)
 
+    def _retire_ticket(self, ticket) -> None:
+        """Vacate an ordering slot whose send died before posting.
+
+        A killed send (rank crash, collective abort) that never reached
+        :meth:`_post_ordered` would otherwise gate every later send to the
+        same peer forever.  The slot is released only once the predecessor
+        has posted, so live sends can never overtake each other through a
+        dead one.
+        """
+        prev, mine = ticket
+        if mine.triggered:
+            return
+        if prev is None or prev.processed:
+            mine.succeed(None)
+        else:
+            prev.add_callback(
+                lambda _ev: None if mine.triggered else mine.succeed(None))
+
     def _send_impl(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
                    nbytes, obj, hb):
         """Blocking send (generator).  Object mode when ``obj`` is given."""
         self.sent_messages += 1
+        try:
+            yield from self._send_body(ticket, cid, src_rank, dest_world, tag,
+                                       buf, offset, nbytes, obj, hb)
+        finally:
+            # Normal completion already posted (ticket triggered, no-op);
+            # an unwound send vacates its ordering slot instead.
+            self._retire_ticket(ticket)
+
+    def _send_body(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
+                   nbytes, obj, hb):
         if obj is not _NO_OBJECT:
             yield self.sim.timeout(self.stack.sw_send_eager)
             yield from self._send_inline(ticket, cid, src_rank, dest_world,
@@ -217,6 +253,7 @@ class PmlEndpoint:
         # One message at a time per pair: fragments of interleaved messages
         # would be indistinguishable in the slot stream.
         yield fifo.tx_lock.acquire()
+        epoch = fifo.tx_lock.epoch
         try:
             env = Envelope(kind=RTS_SM, cid=cid, src=src_rank, tag=tag,
                            nbytes=nbytes, carrier=fifo, reply_to=self.proc.rank,
@@ -239,7 +276,11 @@ class PmlEndpoint:
             # FIFO is reusable by the next sender immediately afterwards.
             yield fin
         finally:
-            fifo.tx_lock.release()
+            # A rank failure may have force-reclaimed this FIFO while we
+            # held the lock; the unit was already returned by reset() then,
+            # and releasing it again would over-fill the semaphore.
+            if fifo.tx_lock.epoch == epoch:
+                fifo.tx_lock.release()
 
     def _send_knem(self, ticket, cid, src_rank, dest_world, tag, buf, offset,
                    nbytes, hb=-1):
@@ -327,7 +368,8 @@ class PmlEndpoint:
         env = engine.post(posted)
         if env is not None:
             self.sim.process(self._deliver(env, posted),
-                             name=f"deliver[{self.proc.rank}]")
+                             name=f"deliver[{self.proc.rank}]",
+                             owner=self.proc.rank)
         return req
 
     def isend(self, cid, src_rank, dest_world, tag, buf=None, offset=0,
@@ -337,9 +379,22 @@ class PmlEndpoint:
         proc = self.sim.process(
             self.send(cid, src_rank, dest_world, tag, buf, offset, nbytes, obj),
             name=f"isend[{self.proc.rank}->{dest_world}]",
+            owner=self.proc.rank,
         )
-        proc.add_callback(lambda ev: req._finish(None) if ev.ok
-                          else req.event.fail(ev.value))
+
+        def finish(ev):
+            if ev.ok:
+                req._finish(None)
+            else:
+                req.event.fail(ev.value)
+                if isinstance(ev.value, (RankCrashed, RankFailed,
+                                         ProcessKilled)):
+                    # Crash-path failure: the program waiting on this
+                    # request may itself be dead or aborted, so nobody is
+                    # guaranteed to observe the event — defuse it.
+                    req.event._defused = True
+
+        proc.add_callback(finish)
         return req
 
     # ---------------------------------------------------------------- engine

@@ -40,7 +40,8 @@ class Event:
     the event, in registration order.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused",
+                 "_abandoned", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -49,6 +50,11 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._defused = False
+        #: set when the process that was waiting on this event is forcibly
+        #: unwound (kill/throw) while the event is still queued inside a
+        #: primitive; Semaphore/Channel skip abandoned waiters at hand-off
+        #: so the token or item is not silently lost
+        self._abandoned = False
         self.name = name
 
     # -- state -----------------------------------------------------------
@@ -180,16 +186,18 @@ class Simulator:
         return Timeout(self, delay, value=value)
 
     def process(self, gen: Generator, name: str = "",
-                daemon: bool = False) -> "Process":
+                daemon: bool = False, owner: Optional[int] = None) -> "Process":
         """Start a generator as a simulated process (see :class:`Process`).
 
         ``daemon`` processes (e.g. per-rank progress engines) may still be
         blocked when the event queue drains without that counting as a
-        deadlock.
+        deadlock.  ``owner`` tags the process with the world rank it acts
+        for, so a rank crash can take its in-flight protocol children down
+        with it.
         """
         from repro.simtime.process import Process
 
-        return Process(self, gen, name=name, daemon=daemon)
+        return Process(self, gen, name=name, daemon=daemon, owner=owner)
 
     # -- main loop ---------------------------------------------------------
     def step(self) -> None:

@@ -31,11 +31,19 @@ class Channel:
         self._getters: Deque[Event] = deque()
 
     def put(self, item: Any) -> None:
-        """Deposit ``item``; wakes the oldest blocked getter, if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Deposit ``item``; wakes the oldest *live* blocked getter, if any.
+
+        Getters whose process was forcibly unwound (rank crash, abort) are
+        marked abandoned and skipped — handing them the item would lose it,
+        since the stale-wakeup guard drops the delivery.
+        """
+        while self._getters:
+            ev = self._getters.popleft()
+            if ev._abandoned:
+                continue
+            ev.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self) -> Event:
         """Return an event that succeeds with the next item."""
@@ -53,6 +61,16 @@ class Channel:
     def waiters(self) -> int:
         return len(self._getters)
 
+    def reset(self) -> None:
+        """Drop all buffered items and forget blocked getters (owner death).
+
+        Forgotten getter events are left untriggered forever; callers must
+        separately unwind the processes parked on them (kill/throw), which
+        is exactly what the rank-failure path does.
+        """
+        self._items.clear()
+        self._getters.clear()
+
 
 class Semaphore:
     """Counting semaphore with FIFO grant order."""
@@ -63,6 +81,7 @@ class Semaphore:
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        self.epoch = 0  # bumped by reset(); invalidates held units
         self._available = capacity
         self._waiters: Deque[Event] = deque()
 
@@ -81,13 +100,33 @@ class Semaphore:
         return ev
 
     def release(self) -> None:
-        """Return one unit; hands it directly to the oldest waiter."""
-        if self._waiters:
-            self._waiters.popleft().succeed(None)
-        else:
-            self._available += 1
-            if self._available > self.capacity:
-                raise SimulationError(f"semaphore {self.name} over-released")
+        """Return one unit; hands it directly to the oldest *live* waiter.
+
+        Waiters abandoned by a forced unwind (rank crash, abort) are
+        skipped, not granted: a token handed to a stale acquire event is a
+        token leaked, and with it eventually the whole semaphore.
+        """
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev._abandoned:
+                continue
+            ev.succeed(None)
+            return
+        self._available += 1
+        if self._available > self.capacity:
+            raise SimulationError(f"semaphore {self.name} over-released")
+
+    def reset(self) -> None:
+        """Restore full capacity and forget blocked acquirers (owner death).
+
+        Same contract as :meth:`Channel.reset`: abandoned acquire events
+        never trigger; the failure path must unwind their waiters itself.
+        Bumps :attr:`epoch` so a holder unwinding *after* the reset can see
+        its unit was already reclaimed and must not release it again.
+        """
+        self.epoch += 1
+        self._available = self.capacity
+        self._waiters.clear()
 
 
 class CountdownLatch:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import ProcessKilled, SimulationError
 from repro.simtime.core import Event, Simulator
 
 __all__ = ["Process", "AllOf", "AnyOf"]
@@ -23,12 +23,12 @@ __all__ = ["Process", "AllOf", "AnyOf"]
 class Process(Event):
     """A coroutine scheduled by the simulator; also an awaitable event."""
 
-    __slots__ = ("_gen", "_waiting_on", "daemon")
+    __slots__ = ("_gen", "_waiting_on", "daemon", "owner", "_death_callbacks")
 
     _ids = 0
 
     def __init__(self, sim: Simulator, gen: Generator, name: str = "",
-                 daemon: bool = False):
+                 daemon: bool = False, owner: "int | None" = None):
         if not hasattr(gen, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(gen).__name__}; "
@@ -38,11 +38,13 @@ class Process(Event):
         super().__init__(sim, name=name or f"process-{Process._ids}")
         self._gen = gen
         self.daemon = daemon
+        self.owner = owner
         self._waiting_on: Event | None = None
+        self._death_callbacks: list = []
         sim._live_processes[id(self)] = self
         # Kick off on the next queue dispatch at the current time.
         start = Event(sim, name=f"{self.name}:start")
-        start.add_callback(self._resume)
+        start.add_callback(lambda ev: self._resume(ev, forced=True))
         start.succeed(None)
 
     @property
@@ -54,7 +56,22 @@ class Process(Event):
         """The event this process is currently blocked on (diagnostics)."""
         return self._waiting_on
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Event, forced: bool = False) -> None:
+        if self.triggered or (not forced and self._waiting_on is not event):
+            # Stale wakeup: the process was killed, or forcibly resumed
+            # (interrupt/throw) while this event was still in flight.  Its
+            # failure, if any, was aimed at a generator frame that no longer
+            # exists — swallow it instead of crashing the simulator.
+            if event._ok is False:
+                event._defused = True
+            return
+        stale = self._waiting_on
+        if stale is not None and stale is not event:
+            # Forced delivery (interrupt/throw): the event the process was
+            # genuinely blocked on may still sit in a primitive's waiter
+            # queue.  Mark it abandoned so Semaphore/Channel hand-offs skip
+            # it instead of granting a token nobody will ever use.
+            stale._abandoned = True
         self._waiting_on = None
         try:
             if event._ok is False:
@@ -88,17 +105,90 @@ class Process(Event):
     def _finish_ok(self, value: Any) -> None:
         self.sim._live_processes.pop(id(self), None)
         self.succeed(value)
+        self._fire_death()
 
     def _finish_fail(self, exc: BaseException) -> None:
         self.sim._live_processes.pop(id(self), None)
         self.fail(exc)
+        self._fire_death()
+
+    def _fire_death(self) -> None:
+        callbacks, self._death_callbacks = self._death_callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def on_death(self, fn) -> None:
+        """Register ``fn(process)`` to run when the process terminates.
+
+        Fires synchronously on any termination — normal return, failure, or
+        :meth:`kill` — so it suits idempotent resource reclamation (KNEM
+        region/FIFO-slot teardown).  If the process already finished, ``fn``
+        runs immediately.
+        """
+        if self.triggered:
+            fn(self)
+            return
+        self._death_callbacks.append(fn)
+
+    def kill(self, exc: "BaseException | None" = None) -> None:
+        """Terminate the process now (fail-stop crash model).
+
+        Unwinds the generator (``finally`` blocks run), fails the process's
+        own event with ``exc`` (default :class:`ProcessKilled`), defuses the
+        event it was blocked on so the later stale wakeup is harmless, and
+        fires registered on-death cleanups.  Killing a finished process is a
+        no-op.
+        """
+        if self.triggered:
+            return
+        if exc is None:
+            exc = ProcessKilled(f"{self.name} killed")
+        waited, self._waiting_on = self._waiting_on, None
+        if waited is not None:
+            waited._abandoned = True
+        try:
+            self._gen.close()
+        except BaseException as err:
+            # The generator refused to die quietly; its error wins so it is
+            # not silently swallowed.
+            exc = err
+        # Deliberate termination: the failure is "observed" by the killer.
+        self._defused = True
+        self._finish_fail(exc)
+        if waited is not None and waited._ok is False:
+            waited._defused = True
+
+    def throw(self, exc: BaseException, only_if=None) -> None:
+        """Throw ``exc`` into the process at the current simulation time.
+
+        Delivery goes through a zero-delay event so it interleaves
+        deterministically with other same-instant wakeups.  ``only_if`` (a
+        nullary predicate) is re-evaluated at delivery time: if it returns
+        False, or the process finished in the meantime, the throw is dropped
+        — this closes the race where a survivor completes its operation
+        between a peer's death and the failure delivery.
+        """
+        if self.triggered:
+            return
+        ev = Event(self.sim, name=f"{self.name}:throw")
+        ev._defused = True
+
+        def deliver(event: Event) -> None:
+            if self.triggered:
+                return
+            if only_if is not None and not only_if():
+                return
+            self._resume(event, forced=True)
+
+        ev.add_callback(deliver)
+        ev.fail(exc)
 
     def interrupt(self, reason: str = "") -> None:
         """Throw :class:`Interrupted` into the process at the current time."""
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
         ev = Event(self.sim, name=f"{self.name}:interrupt")
-        ev.add_callback(self._resume)
+        ev.add_callback(lambda event: self._resume(event, forced=True))
         ev._defused = True
         ev.fail(Interrupted(reason))
 

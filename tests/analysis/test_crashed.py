@@ -1,0 +1,92 @@
+"""Crashed-rank schedules replayed through the analyzers.
+
+A run that loses a rank and recovers by shrink-and-retry must leave a
+trace the checkers consider *degraded but clean*: the crash and the forced
+reclaims are visible in the model, yet no race, cookie-lifecycle, or
+deadlock finding appears.  And when a survivor genuinely blocks on the
+dead peer, the deadlock checker must say so — "peer rank died" — instead
+of inventing a wait cycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_model
+from repro.analysis.deadlock import check_deadlock
+from repro.errors import RankFailed
+from repro.faults import FaultPlan
+from repro.mpi.stacks import KNEM_COLL
+from repro.units import KiB
+from tests.analysis import fixtures as fx
+
+SIZE = 64 * KiB
+
+
+def crash_recover_bcast(proc):
+    buf = proc.alloc_array(SIZE, "u1")
+    if proc.rank == 0:
+        buf.array[:] = np.arange(SIZE, dtype=np.uint8) % 251
+    comm = proc.comm
+    while True:
+        try:
+            yield from comm.bcast(buf.sim, 0, SIZE, root=0)
+            return buf.array.tobytes()
+        except RankFailed:
+            comm = comm.shrink()
+
+
+@pytest.mark.analyze_schedule
+def test_crashed_rank_schedule_is_degraded_but_clean():
+    job, deadlock, error = fx.run_traced(
+        "dancer", 8, KNEM_COLL, crash_recover_bcast,
+        fault_plan=FaultPlan.crash(core=5, index=0))
+    assert deadlock is None and not error
+    assert job.world.dead == {5: "bcast"}
+    assert job.machine.knem.live_regions == 0
+    assert job.machine.shm.slots_outstanding == 0
+
+
+def test_crash_and_stall_events_reach_the_model():
+    job, deadlock, error = fx.run_traced(
+        "dancer", 8, KNEM_COLL, crash_recover_bcast,
+        fault_plan=FaultPlan.crash(core=3, index=0))
+    assert deadlock is None and not error
+    model = build_model(job)
+    crashes = [e for e in model.rank_events if e.kind == "crash"]
+    assert len(crashes) == 1
+    assert crashes[0].rank == 3
+    assert crashes[0].op == "bcast"
+    assert model.dead_ranks == [3]
+
+    job, deadlock, error = fx.run_traced(
+        "dancer", 8, KNEM_COLL, crash_recover_bcast,
+        fault_plan=FaultPlan.stall(1e-4, core=2, index=0))
+    assert deadlock is None and not error
+    model = build_model(job)
+    stalls = [e for e in model.rank_events if e.kind == "stall"]
+    assert len(stalls) == 1
+    assert stalls[0].rank == 2
+    assert model.dead_ranks == []
+
+
+def test_blocked_on_dead_peer_is_named_not_a_cycle():
+    # rank 1 fail-stops on a timer while rank 0 waits for its message:
+    # a genuine hang, but one whose explanation is the death, not a cycle
+    def program(proc):
+        buf = proc.alloc_array(SIZE, "u1")
+        if proc.rank == 0:
+            yield from proc.comm.recv(1, buf.sim, 0, SIZE)
+        elif proc.rank == 1:
+            yield proc.machine.sim.timeout(1.0)  # outlived by the crash
+            yield from proc.comm.send(0, buf.sim, 0, SIZE)
+
+    job, deadlock, error = fx.run_traced(
+        "dancer", 4, KNEM_COLL, program,
+        fault_plan=FaultPlan.crash(core=1, at_time=1e-5))
+    assert deadlock is not None
+    model = build_model(job, deadlock=deadlock)
+    assert model.dead_ranks == [1]
+    findings = list(check_deadlock(model))
+    assert findings
+    text = " ".join(f.render() for f in findings)
+    assert "peer rank died (fail-stop)" in text

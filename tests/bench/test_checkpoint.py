@@ -1,0 +1,145 @@
+"""Crash-safe sweep checkpoints: kill a sweep mid-run, resume, same bytes.
+
+``run_sweep(checkpoint=...)`` journals each completed (stack, size) cell to
+an atomic JSON file next to the CSV.  These tests pin the whole contract:
+an interrupted sweep resumed from its checkpoint re-runs only the missing
+cells and produces a byte-identical CSV, a checkpoint from a *different*
+sweep is refused, and a corrupt journal is a typed error — never silently
+wrong numbers.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.bench.cli import main as bench_main
+from repro.bench.harness import checkpoint_path, run_sweep
+from repro.bench.imb import ImbSettings
+from repro.errors import BenchmarkError
+from repro.mpi import stacks
+from repro.units import KiB
+
+SIZES = [32 * KiB, 128 * KiB]
+STACKS = [stacks.TUNED_SM, stacks.KNEM_COLL]
+SETTINGS = ImbSettings(max_iterations=1, warmups=0)
+N_CELLS = len(SIZES) * len(STACKS)
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def sweep(checkpoint=None, experiment="ckpt", **overrides):
+    kw = dict(experiment=experiment, machine="dancer", operation="bcast",
+              nprocs=4, stacks=STACKS, sizes=SIZES, settings=SETTINGS,
+              reference="KNEM-Coll", checkpoint=checkpoint)
+    kw.update(overrides)
+    return run_sweep(**kw)
+
+
+class Interrupter:
+    """Let ``n_before_kill`` cells through, then die like a real SIGINT."""
+
+    def __init__(self, n_before_kill):
+        self.real = harness.imb_time
+        self.n_before_kill = n_before_kill
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        if self.calls >= self.n_before_kill:
+            raise KeyboardInterrupt
+        self.calls += 1
+        return self.real(*args, **kwargs)
+
+
+class TestResume:
+    def test_interrupted_then_resumed_csv_is_byte_identical(
+            self, results_dir, monkeypatch):
+        baseline = sweep().to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("ckpt", "dancer")
+
+        monkeypatch.setattr(harness, "imb_time", Interrupter(2))
+        with pytest.raises(KeyboardInterrupt):
+            sweep(checkpoint=ckpt)
+        monkeypatch.undo()
+
+        journal = json.loads(open(ckpt).read())
+        assert len(journal["cells"]) == 2  # exactly the completed cells
+        assert not os.path.exists(ckpt + ".tmp")  # rename, no debris
+
+        resumed = sweep(checkpoint=ckpt).to_csv(str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+    def test_resume_skips_journaled_cells(self, results_dir, monkeypatch):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        monkeypatch.setattr(harness, "imb_time", Interrupter(3))
+        with pytest.raises(KeyboardInterrupt):
+            sweep(checkpoint=ckpt)
+        monkeypatch.undo()
+
+        counter = Interrupter(N_CELLS)  # never fires; just counts
+        monkeypatch.setattr(harness, "imb_time", counter)
+        sweep(checkpoint=ckpt)
+        assert counter.calls == N_CELLS - 3  # only the missing cell ran
+
+    def test_completed_sweep_resumes_without_any_rerun(
+            self, results_dir, monkeypatch):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        first = sweep(checkpoint=ckpt)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        again = sweep(checkpoint=ckpt)
+        assert counter.calls == 0
+        assert [s.times for s in again.series] == [s.times for s in first.series]
+
+
+class TestValidation:
+    def test_checkpoint_of_other_sweep_is_refused(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        with pytest.raises(BenchmarkError, match="different sweep"):
+            sweep(checkpoint=ckpt, operation="allgather")
+        with pytest.raises(BenchmarkError, match="different sweep"):
+            sweep(checkpoint=ckpt, nprocs=8)
+        with pytest.raises(BenchmarkError, match="different sweep"):
+            sweep(checkpoint=ckpt,
+                  settings=ImbSettings(max_iterations=2, warmups=0))
+
+    def test_corrupt_checkpoint_is_a_typed_error(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        with open(ckpt, "w") as fh:
+            fh.write("{ not json")
+        with pytest.raises(BenchmarkError, match="corrupt"):
+            sweep(checkpoint=ckpt)
+
+    def test_missing_checkpoint_starts_fresh(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        res = sweep(checkpoint=ckpt)
+        assert os.path.exists(ckpt)
+        journal = json.loads(open(ckpt).read())
+        assert len(journal["cells"]) == N_CELLS
+        for s in res.series:
+            for size, t in s.times.items():
+                assert journal["cells"][f"{s.name}|{size}"] == t
+
+    def test_checkpoint_floats_round_trip_exactly(self, results_dir):
+        # json round-trip must preserve the float bit pattern, else the
+        # resumed CSV would differ in the low digits
+        ckpt = checkpoint_path("ckpt", "dancer")
+        res = sweep(checkpoint=ckpt)
+        journal = json.loads(open(ckpt).read())
+        for s in res.series:
+            for size, t in s.times.items():
+                assert journal["cells"][f"{s.name}|{size}"] == t
+
+
+class TestCli:
+    def test_table1_rejects_resume(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            bench_main(["table1", "--resume"])
+        assert exc_info.value.code == 2
+        assert "--resume applies to sweep experiments" in capsys.readouterr().err

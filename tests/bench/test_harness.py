@@ -104,3 +104,24 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])
+
+
+class TestNormalization:
+    def test_missing_reference_size_is_skipped(self):
+        s = Series("a", {1024: 2.0, 2048: 4.0})
+        ref = Series("ref", {1024: 1.0})  # no 2048 measurement
+        assert s.normalized_to(ref) == {1024: 2.0}
+
+    def test_zero_reference_time_raises(self):
+        # A reference cell of exactly 0.0 is a measurement bug, not a size
+        # to silently drop (the old `if rt:` truthiness test conflated the
+        # two).
+        s = Series("a", {1024: 2.0})
+        ref = Series("ref", {1024: 0.0})
+        with pytest.raises(BenchmarkError, match="measured 0 s"):
+            s.normalized_to(ref)
+
+    def test_zero_numerator_over_nonzero_reference_is_fine(self):
+        s = Series("a", {1024: 0.0})
+        ref = Series("ref", {1024: 2.0})
+        assert s.normalized_to(ref) == {1024: 0.0}

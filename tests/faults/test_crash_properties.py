@@ -1,0 +1,148 @@
+"""Property tests for crash/stall fault tolerance.
+
+The acceptance contract of the rank-failure work, stated once and searched
+by Hypothesis: **any** seeded crash or stall plan over the paper's
+collectives ends in exactly one of
+
+1. normal completion with byte-identical buffers on every rank,
+2. a typed :class:`~repro.errors.RankFailed` at the surviving ranks whose
+   collective could not complete (completed ranks keep correct bytes), or
+3. a typed :class:`~repro.errors.ProgressTimeout` whose report carries the
+   analyzer's diagnosis
+
+— and in every case zero leaked KNEM regions and zero outstanding FIFO
+slots.  Never an un-diagnosed hang, never corruption, never a leak.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProgressTimeout, RankFailed
+from repro.faults import FaultPlan
+from repro.mpi import Job, Machine, stacks
+from tests.faults.test_degradation import COLLECTIVES, reference
+
+pytestmark = pytest.mark.faults
+
+NPROCS = 8
+MACHINE = "dancer"  # linear binding: core k hosts rank k
+DEADLINE = 1.0  # simulated seconds; orders of magnitude past any clean run
+
+STACKS = {s.name: s for s in (stacks.KNEM_COLL, stacks.TUNED_SM)}
+
+
+@st.composite
+def fault_scenarios(draw):
+    op = draw(st.sampled_from(sorted(COLLECTIVES)))
+    stack = draw(st.sampled_from(sorted(STACKS)))
+    core = draw(st.integers(0, NPROCS - 1))
+    kind = draw(st.sampled_from(["crash-entry", "crash-timed", "stall"]))
+    if kind == "crash-entry":
+        plan = FaultPlan.crash(core=core, index=0)
+    elif kind == "crash-timed":
+        # fail-stop in the middle of in-flight transfers, not at an entry
+        plan = FaultPlan.crash(core=core,
+                               at_time=draw(st.sampled_from([2e-5, 1e-4])))
+    else:
+        plan = FaultPlan.stall(draw(st.sampled_from([1e-4, 2e-3])),
+                               core=core, index=0)
+    return op, stack, core, kind, plan
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fault_scenarios())
+def test_crash_or_stall_always_ends_diagnosed_and_leak_free(scenario):
+    op, stack_name, core, kind, plan = scenario
+    stack = STACKS[stack_name]
+    program = COLLECTIVES[op]
+    m = Machine.build(MACHINE)
+    m.arm_faults(plan.fork())
+    job = Job(m, nprocs=NPROCS, stack=stack)
+
+    completed = {}
+    failed = {}
+
+    def wrapped(proc):
+        try:
+            value = yield from program(proc)
+        except RankFailed as err:
+            failed[proc.rank] = (err.rank, err.op)
+            raise
+        completed[proc.rank] = value
+        return value
+
+    outcome = None
+    try:
+        job.run(wrapped, deadline=DEADLINE)
+        outcome = "ok"
+    except RankFailed as err:
+        outcome = "rank-failed"
+        dead = set(job.world.dead)
+        assert err.rank in dead
+        # every live rank reached a terminal state: completed its
+        # collective or observed the typed failure — none silently dropped
+        assert set(completed) | set(failed) | dead == set(range(NPROCS))
+        for rank, (victim, _op) in failed.items():
+            assert victim in dead, f"rank {rank} blamed a live rank"
+    except ProgressTimeout as err:
+        outcome = "timeout"
+        # a hang is only acceptable as a typed, reportable timeout
+        assert err.blocked
+        assert err.report().startswith("ProgressTimeout")
+
+    if outcome == "ok":
+        # stalls and non-firing rules must never corrupt: byte-identical
+        # to the fault-free run of the same collective on the same stack
+        if kind == "stall":
+            assert job.world.dead == {}
+        ref = reference(op, stack)
+        for rank, value in completed.items():
+            assert value == ref[rank], f"{op}/{stack_name} rank {rank} corrupted"
+    elif outcome == "rank-failed":
+        # completed ranks got their full payload before the failure: their
+        # bytes must match the fault-free run exactly
+        ref = reference(op, stack)
+        for rank, value in completed.items():
+            assert value == ref[rank], f"{op}/{stack_name} rank {rank} corrupted"
+
+    # the invariant that holds in EVERY outcome: nothing leaks
+    assert m.knem.live_regions == 0, f"{outcome}: leaked KNEM regions"
+    assert m.shm.slots_outstanding == 0, f"{outcome}: leaked FIFO slots"
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(core=st.integers(0, NPROCS - 1),
+       stack=st.sampled_from(sorted(STACKS)))
+def test_shrink_retry_bcast_recovers_any_victim(core, stack):
+    """Shrink-and-retry converges for every choice of victim, both stacks."""
+    from tests.faults.test_degradation import pattern
+
+    COUNT = 64 * 1024
+    expected = pattern(0, COUNT, salt=0).tobytes()
+
+    def prog(proc):
+        buf = proc.alloc_array(COUNT, "u1")
+        if proc.rank == 0:
+            buf.array[:] = pattern(0, COUNT, salt=0)
+        comm = proc.comm
+        while True:
+            try:
+                yield from comm.bcast(buf.sim, 0, COUNT, root=0)
+                return buf.array.tobytes()
+            except RankFailed:
+                comm = comm.shrink()
+                if proc.rank == comm.world_rank(0):
+                    buf.array[:] = pattern(0, COUNT, salt=0)
+
+    m = Machine.build(MACHINE)
+    m.arm_faults(FaultPlan.crash(core=core, index=0).fork())
+    job = Job(m, nprocs=NPROCS, stack=STACKS[stack])
+    res = job.run(prog, deadline=DEADLINE)
+    assert res.dead_ranks == (core,)
+    for rank in res.survivors:
+        assert res.values[rank] == expected, f"rank {rank} corrupted"
+    assert m.knem.live_regions == 0
+    assert m.shm.slots_outstanding == 0

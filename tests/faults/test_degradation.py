@@ -18,6 +18,8 @@ from repro.faults import FaultPlan, FaultRule
 from repro.mpi import Job, Machine, stacks
 from repro.units import KiB
 
+pytestmark = pytest.mark.faults
+
 COUNT = 64 * KiB  # above KNEM-Coll's 16 KB delegation threshold
 
 

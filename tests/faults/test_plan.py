@@ -5,6 +5,8 @@ import pytest
 from repro.errors import FaultInjected, KnemFaultInjected, ShmFaultInjected
 from repro.faults import ALL_OPS, KNEM_OPS, FaultPlan, FaultRule
 
+pytestmark = pytest.mark.faults
+
 
 def fire_sequence(plan, calls):
     return [plan.fire(op, core, size) for op, core, size in calls]

@@ -19,6 +19,8 @@ from repro.faults import ALL_OPS, KNEM_OPS, FaultPlan
 from repro.mpi import Job, Machine, stacks
 from tests.faults.test_degradation import COLLECTIVES
 
+pytestmark = pytest.mark.faults
+
 MACHINES = [("zoot", 16), ("ig", 16)]
 
 KNEM_OP_MIXES = [("register",), ("copy",), ("destroy",),

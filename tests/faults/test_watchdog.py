@@ -1,0 +1,138 @@
+"""Watchdog tests: hangs become typed ``ProgressTimeout`` with diagnosis.
+
+``Job.run(deadline=...)`` arms a simulated-time watchdog.  A program that
+cannot finish — a genuine wait cycle, a message that never arrives, a
+stall rule longer than the deadline — must surface as a typed error that
+names the stuck processes and (when tracing is on) carries the analyzer's
+wait-cycle findings, never as a silent hang.
+"""
+
+import pytest
+
+from repro.errors import ProgressTimeout
+from repro.faults import FaultPlan
+from repro.mpi import Job, Machine, stacks
+from repro.units import KiB
+
+pytestmark = pytest.mark.faults
+
+NPROCS = 4
+COUNT = 4 * KiB
+
+
+def make_job(machine="zoot", nprocs=NPROCS, trace=False, plan=None):
+    m = Machine.build(machine, trace=trace)
+    if plan is not None:
+        m.arm_faults(plan.fork())
+    return m, Job(m, nprocs=nprocs, stack=stacks.KNEM_COLL)
+
+
+def head_to_head(proc):
+    """Classic wait cycle: every rank recvs from its left before sending."""
+    buf = proc.alloc_array(COUNT, "u1")
+    left = (proc.rank - 1) % proc.comm.size
+    right = (proc.rank + 1) % proc.comm.size
+    yield from proc.comm.recv(left, buf.sim, 0, COUNT)
+    yield from proc.comm.send(right, buf.sim, 0, COUNT)
+
+
+def lonely_recv(proc):
+    """Rank 0 waits for a message nobody ever sends."""
+    buf = proc.alloc_array(COUNT, "u1")
+    if proc.rank == 0:
+        yield from proc.comm.recv(1, buf.sim, 0, COUNT)
+    else:
+        yield proc.machine.sim.timeout(0)
+
+
+class TestWatchdogFires:
+    def test_hang_becomes_typed_timeout(self):
+        m, job = make_job()
+        with pytest.raises(ProgressTimeout) as exc_info:
+            job.run(head_to_head, deadline=1e-3)
+        err = exc_info.value
+        assert err.deadline == 1e-3
+        # every rank program is named as stuck, with the event it sits on
+        for rank in range(NPROCS):
+            assert f"rank{rank}" in err.blocked
+            assert err.waiting.get(f"rank{rank}")
+        assert "watchdog" in str(err)
+
+    def test_completed_run_is_untouched_by_deadline(self):
+        m, job = make_job()
+
+        def prog(proc):
+            buf = proc.alloc_array(COUNT, "u1")
+            if proc.rank == 0:
+                buf.array[:] = 7
+            yield from proc.comm.bcast(buf.sim, 0, COUNT, root=0)
+            return bytes(buf.array[:4])
+
+        res = job.run(prog, deadline=10.0)
+        assert all(v == b"\x07\x07\x07\x07" for v in res.values)
+
+    def test_stall_past_deadline_times_out(self):
+        plan = FaultPlan.stall(5e-2, core=1, index=0)
+        m, job = make_job(plan=plan)
+
+        def prog(proc):
+            buf = proc.alloc_array(COUNT, "u1")
+            yield from proc.comm.bcast(buf.sim, 0, COUNT, root=0)
+
+        with pytest.raises(ProgressTimeout):
+            job.run(prog, deadline=1e-3)
+
+    def test_timeout_emits_trace_event(self):
+        m, job = make_job(trace=True)
+        with pytest.raises(ProgressTimeout):
+            job.run(lonely_recv, deadline=1e-3)
+        hits = [r for r in m.tracer.records if r.category == "watchdog.timeout"]
+        assert len(hits) == 1
+        assert hits[0].fields["deadline"] == 1e-3
+        assert "rank0" in hits[0].fields["blocked"]
+
+
+class TestDiagnosis:
+    def test_traced_hang_carries_wait_cycle_findings(self):
+        m, job = make_job(trace=True)
+        with pytest.raises(ProgressTimeout) as exc_info:
+            job.run(head_to_head, deadline=1e-3)
+        err = exc_info.value
+        assert err.diagnosis, "tracing was on: the checker must explain the hang"
+        text = " ".join(str(getattr(f, "message", f)) for f in err.diagnosis)
+        assert "rank" in text
+
+    def test_untraced_hang_still_fires_without_findings(self):
+        m, job = make_job(trace=False)
+        with pytest.raises(ProgressTimeout) as exc_info:
+            job.run(head_to_head, deadline=1e-3)
+        assert exc_info.value.diagnosis == []
+
+    def test_report_lists_blocked_and_findings(self):
+        m, job = make_job(trace=True)
+        with pytest.raises(ProgressTimeout) as exc_info:
+            job.run(head_to_head, deadline=1e-3)
+        report = exc_info.value.report()
+        assert "ProgressTimeout" in report
+        assert "blocked: rank0" in report
+        assert "finding:" in report
+
+
+class TestCiArtifact:
+    def test_report_file_written_when_env_set(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG_REPORT_DIR", str(tmp_path))
+        m, job = make_job(trace=True)
+        with pytest.raises(ProgressTimeout):
+            job.run(head_to_head, deadline=1e-3)
+        path = tmp_path / f"watchdog-{m.spec.name}.txt"
+        assert path.exists()
+        content = path.read_text()
+        assert "ProgressTimeout" in content
+        assert "blocked: rank0" in content
+
+    def test_no_file_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCHDOG_REPORT_DIR", raising=False)
+        m, job = make_job()
+        with pytest.raises(ProgressTimeout):
+            job.run(lonely_recv, deadline=1e-3)
+        assert list(tmp_path.iterdir()) == []

@@ -65,6 +65,26 @@ class TestJob:
         assert len(res.per_rank_elapsed) == 4
         assert res.per_rank_elapsed[3] == max(res.per_rank_elapsed)
 
+    def test_result_tolerates_crashed_ranks(self):
+        from repro.mpi.runtime import JobResult
+
+        res = JobResult(values=["a", None, "c"], start=1.0,
+                        finish_times=[3.0, None, 2.5], dead_ranks=(1,))
+        assert res.survivors == [0, 2]
+        assert res.dead_ranks == (1,)
+        # aggregates are survivor-only statistics, never a TypeError on None
+        assert res.elapsed == 2.0
+        assert res.per_rank_elapsed == [2.0, None, 1.5]
+
+    def test_result_with_no_finisher_has_no_elapsed(self):
+        from repro.mpi.runtime import JobResult
+
+        res = JobResult(values=[None, None], start=0.0,
+                        finish_times=[None, None], dead_ranks=(0, 1))
+        assert res.survivors == []
+        assert res.elapsed is None
+        assert res.per_rank_elapsed == [None, None]
+
     def test_program_exception_propagates(self):
         job = Job(Machine.build("dancer"), nprocs=2, stack=stacks.TUNED_SM)
 

@@ -1,0 +1,153 @@
+"""Process.kill/throw/on_death: the unwind machinery behind rank crashes."""
+
+from repro.errors import ProcessKilled, SimulationError
+
+
+class TestKill:
+    def test_kill_unwinds_generator_and_runs_finally(self, sim):
+        cleaned = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            finally:
+                cleaned.append(sim.now)
+
+        p = sim.process(body())
+        sim.run(until=1.0)
+        p.kill()
+        assert cleaned == [1.0]
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, ProcessKilled)
+
+    def test_kill_is_idempotent_after_completion(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.process(body())
+        sim.run()
+        p.kill()  # no-op: already triggered
+        assert p.ok and p.value == "ok"
+
+    def test_killed_process_failure_is_defused(self, sim):
+        """Nobody observes a killed process's handle; the sim must not abort."""
+        def body():
+            yield sim.timeout(5.0)
+
+        p = sim.process(body())
+        sim.run(until=1.0)
+        p.kill()
+        sim.run()  # would raise the pending failure if it were not defused
+
+    def test_pending_event_of_killed_process_cannot_fire_late(self, sim):
+        def body():
+            yield sim.timeout(5.0)
+            raise AssertionError("resumed after kill")
+
+        p = sim.process(body())
+        sim.run(until=1.0)
+        p.kill()
+        sim.run()  # the 5.0 timeout fires into a dead process: ignored
+        assert not p.ok
+
+    def test_kill_with_custom_exception(self, sim):
+        class Boom(SimulationError):
+            pass
+
+        def body():
+            yield sim.timeout(3.0)
+
+        p = sim.process(body())
+        sim.run(until=0.5)
+        p.kill(Boom("crash"))
+        assert isinstance(p.value, Boom)
+
+
+class TestThrow:
+    def test_throw_delivers_exception_at_wait_point(self, sim):
+        seen = []
+
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except ValueError as err:
+                seen.append(str(err))
+            return "recovered"
+
+        p = sim.process(body())
+        sim.run(until=1.0)
+        p.throw(ValueError("async"))
+        sim.run()
+        assert seen == ["async"]
+        assert p.ok and p.value == "recovered"
+
+    def test_throw_only_if_false_is_dropped(self, sim):
+        def body():
+            yield sim.timeout(2.0)
+            return "clean"
+
+        p = sim.process(body())
+        sim.run(until=1.0)
+        p.throw(ValueError("stale"), only_if=lambda: False)
+        sim.run()
+        assert p.ok and p.value == "clean"
+
+    def test_throw_after_completion_is_dropped(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(body())
+        sim.run()
+        p.throw(ValueError("late"))
+        sim.run()
+        assert p.ok and p.value == "done"
+
+
+class TestOnDeath:
+    def test_on_death_fires_for_normal_exit(self, sim):
+        ends = []
+
+        def body():
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(body())
+        p.on_death(lambda proc: ends.append(("ok", proc.value)))
+        sim.run()
+        assert ends == [("ok", 42)]
+
+    def test_on_death_fires_for_kill(self, sim):
+        ends = []
+
+        def body():
+            yield sim.timeout(9.0)
+
+        p = sim.process(body())
+        p.on_death(lambda proc: ends.append(type(proc.value).__name__))
+        sim.run(until=1.0)
+        p.kill()
+        assert ends == ["ProcessKilled"]
+
+    def test_on_death_immediate_when_already_dead(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        p = sim.process(body())
+        sim.run()
+        ends = []
+        p.on_death(lambda proc: ends.append("late-registration"))
+        assert ends == ["late-registration"]
+
+
+class TestOwner:
+    def test_owner_tag_round_trips(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        p = sim.process(body(), owner=7)
+        assert p.owner == 7
+        q = sim.process(body())
+        assert q.owner is None
+        sim.run()
