@@ -1,0 +1,189 @@
+"""Simulator-core micro-benchmarks and the wall-clock perf-regression gate.
+
+Three measurements of the engine itself (not of any paper experiment):
+
+- **events/sec** — raw event-loop dispatch rate on timeout chains; this is
+  the number the CI gate enforces, because every sweep bottoms out in
+  ``Simulator.run``;
+- **cells/sec** — full (stack, size) sweep cells (machine build + IMB loop)
+  on the dancer Broadcast grid;
+- **sweep wall-clock** — ``run_sweep`` serial vs ``parallel=N``, reporting
+  the speedup (recorded, not gated: it is meaningless on 1-2 core CI hosts).
+
+Standalone (what CI runs)::
+
+    python benchmarks/bench_simcore.py --smoke --jobs 2 \
+        --output BENCH_simcore.json
+    python benchmarks/bench_simcore.py --smoke \
+        --baseline BENCH_simcore.json --max-regression 0.25
+
+Under pytest (``pytest benchmarks/bench_simcore.py --benchmark-only``) each
+measurement is one pytest-benchmark target, so it lands in benchmark
+history next to the paper-experiment benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.harness import run_sweep
+from repro.bench.imb import ImbSettings, imb_time
+from repro.mpi import stacks as stk
+from repro.simtime import Simulator
+from repro.units import KiB
+
+#: (stack, size) grid for the cell and sweep measurements.
+CELL_STACKS = [stk.TUNED_SM, stk.KNEM_COLL]
+CELL_SIZES = {"full": [32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB],
+              "smoke": [32 * KiB, 128 * KiB]}
+CELL_SETTINGS = ImbSettings(max_iterations=1, warmups=0)
+
+#: event-loop workload: chains of zero-ish timeouts.
+EVENT_CHAINS = {"full": (10, 20_000), "smoke": (10, 5_000)}
+
+
+# ------------------------------------------------------------ measurements
+def _event_loop(n_chains: int, chain_len: int) -> Simulator:
+    sim = Simulator()
+
+    def chain(n):
+        for _ in range(n):
+            yield sim.timeout(1e-9)
+
+    for _ in range(n_chains):
+        sim.process(chain(chain_len))
+    sim.run()
+    return sim
+
+
+def bench_events(grid: str) -> dict:
+    """Event-loop dispatch rate (events/sec)."""
+    n_chains, chain_len = EVENT_CHAINS[grid]
+    t0 = time.perf_counter()
+    sim = _event_loop(n_chains, chain_len)
+    dt = time.perf_counter() - t0
+    return {"events": sim.events_processed, "seconds": dt,
+            "events_per_sec": sim.events_processed / dt}
+
+
+def _cell_grid(grid: str) -> list[tuple[object, int]]:
+    return [(stack, size)
+            for stack in CELL_STACKS for size in CELL_SIZES[grid]]
+
+
+def bench_cells(grid: str) -> dict:
+    """Sweep-cell throughput: machine build + IMB loop per cell."""
+    cells = _cell_grid(grid)
+    t0 = time.perf_counter()
+    for stack, size in cells:
+        imb_time("dancer", stack, 4, "bcast", size, CELL_SETTINGS)
+    dt = time.perf_counter() - t0
+    return {"cells": len(cells), "seconds": dt,
+            "cells_per_sec": len(cells) / dt}
+
+
+def _sweep(grid: str, parallel: int):
+    return run_sweep(
+        experiment="simcore", machine="dancer", operation="bcast", nprocs=4,
+        stacks=CELL_STACKS, sizes=CELL_SIZES[grid], settings=CELL_SETTINGS,
+        reference="KNEM-Coll", parallel=parallel)
+
+
+def bench_sweep(grid: str, jobs: int) -> dict:
+    """run_sweep wall-clock, serial vs ``parallel=jobs``."""
+    serial = _sweep(grid, parallel=1).stats.wall_seconds
+    parallel = _sweep(grid, parallel=jobs).stats.wall_seconds
+    return {"jobs": jobs, "serial_seconds": serial,
+            "parallel_seconds": parallel,
+            "speedup": serial / parallel if parallel > 0 else 0.0}
+
+
+def collect(grid: str, jobs: int) -> dict:
+    """All three measurements as the BENCH_simcore.json payload."""
+    return {
+        "version": 1,
+        "grid": grid,
+        "host": {"cpus": os.cpu_count() or 1, "platform": sys.platform},
+        "events_per_sec": round(bench_events(grid)["events_per_sec"], 1),
+        "cells_per_sec": round(bench_cells(grid)["cells_per_sec"], 3),
+        "sweep": {k: (round(v, 3) if isinstance(v, float) else v)
+                  for k, v in bench_sweep(grid, jobs).items()},
+    }
+
+
+# -------------------------------------------------------- pytest-benchmark
+def test_event_loop_events_per_sec(benchmark):
+    n_chains, chain_len = EVENT_CHAINS["smoke"]
+    sim = benchmark(_event_loop, n_chains, chain_len)
+    assert sim.events_processed >= n_chains * chain_len
+
+
+def test_cell_throughput(benchmark):
+    benchmark.pedantic(bench_cells, args=("smoke",), rounds=1, iterations=1)
+
+
+def test_parallel_sweep_speedup(benchmark):
+    jobs = os.cpu_count() or 1
+    res = benchmark.pedantic(bench_sweep, args=("smoke", jobs),
+                             rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = round(res["speedup"], 2)
+    benchmark.extra_info["jobs"] = jobs
+
+
+# -------------------------------------------------------------- standalone
+def _check_regression(current: dict, baseline_path: str,
+                      max_regression: float) -> int:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = baseline["events_per_sec"]
+    now = current["events_per_sec"]
+    floor = base * (1.0 - max_regression)
+    verdict = "OK" if now >= floor else "REGRESSION"
+    print(f"[gate] events/sec: current {now:,.0f} vs baseline {base:,.0f} "
+          f"(floor {floor:,.0f}, max regression {max_regression:.0%}) "
+          f"-> {verdict}")
+    return 0 if now >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulator-core micro-benchmarks (events/sec, "
+                    "cells/sec, parallel sweep speedup).")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI (default: full grid)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="workers for the sweep comparison "
+                             "(0 = one per CPU)")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the measurements as JSON")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="compare events/sec against this JSON and fail "
+                             "on regression")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed events/sec drop vs baseline "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    grid = "smoke" if args.smoke else "full"
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    result = collect(grid, jobs)
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[json] wrote {args.output}")
+
+    if args.baseline:
+        return _check_regression(result, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

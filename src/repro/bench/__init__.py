@@ -8,12 +8,19 @@ and result rendering.
 - :mod:`repro.bench.harness` / :mod:`repro.bench.report` — sweep runner,
   normalization (the paper normalizes every curve to KNEM-Coll), ASCII
   tables and CSV output;
+- :mod:`repro.bench.executor` — multiprocessing cell/experiment fan-out
+  behind ``run_sweep(parallel=)`` and the CLI's ``--jobs N``;
 - :mod:`repro.bench.cli` — ``python -m repro.bench <experiment>`` for
   full-size sweeps.
 """
 
-from repro.bench.harness import ExperimentResult, Series, run_sweep
-from repro.bench.imb import ImbSettings, imb_time
+from repro.bench.harness import (
+    ExperimentResult,
+    Series,
+    SweepStats,
+    run_sweep,
+)
+from repro.bench.imb import CellStats, ImbSettings, imb_time
 from repro.bench.timeline import copy_stats, render_timeline
 
 __all__ = [
@@ -22,6 +29,8 @@ __all__ = [
     "run_sweep",
     "Series",
     "ExperimentResult",
+    "SweepStats",
+    "CellStats",
     "render_timeline",
     "copy_stats",
 ]

@@ -3,9 +3,9 @@
 Examples::
 
     python -m repro.bench fig5 --machine dancer --scale bench
-    python -m repro.bench fig4 --scale full
+    python -m repro.bench fig4 --scale full --jobs 8
     python -m repro.bench table1 --machine zoot --sample 64
-    python -m repro.bench all --scale smoke
+    python -m repro.bench all --scale smoke --jobs 0 --verbose
 """
 
 from __future__ import annotations
@@ -24,18 +24,31 @@ from repro.bench.report import render_table1
 __all__ = ["main"]
 
 
-def _run_one(name: str, machine: str | None, scale: str, csv: bool,
-             resume: bool) -> None:
-    fn, takes_machine = EXPERIMENTS[name]
+def _print_result(result, csv: bool, verbose: bool) -> None:
+    print(result.render())
+    if verbose and result.stats is not None:
+        print(result.stats.render())
+    print()
+    if csv:
+        print(f"wrote {result.to_csv()}")
+
+
+def _combos(name: str, machine: str | None) -> list[tuple[str, str | None]]:
+    """The (experiment, machine) pairs one experiment name expands to."""
+    _fn, takes_machine = EXPERIMENTS[name]
     machines = [machine] if machine else (
         list(MACHINE_RANKS) if takes_machine else [None])
-    for m in machines:
-        result = (fn(m, scale=scale, resume=resume) if takes_machine
-                  else fn(scale=scale, resume=resume))
-        print(result.render())
-        print()
-        if csv:
-            print(f"wrote {result.to_csv()}")
+    return [(name, m) for m in machines]
+
+
+def _run_one(name: str, machine: str | None, scale: str, csv: bool,
+             resume: bool, jobs: int, verbose: bool) -> None:
+    fn, takes_machine = EXPERIMENTS[name]
+    for _name, m in _combos(name, machine):
+        result = (fn(m, scale=scale, resume=resume, jobs=jobs)
+                  if takes_machine else
+                  fn(scale=scale, resume=resume, jobs=jobs))
+        _print_result(result, csv, verbose)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,7 +77,19 @@ def main(argv: list[str] | None = None) -> int:
         help="journal each completed sweep cell to a checkpoint next to the "
              "CSV and skip already-journaled cells when restarting an "
              "interrupted run (sweep experiments only)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU).  A single experiment fans "
+             "its (stack, size) cells across workers; 'all' fans whole "
+             "(experiment, machine) combos instead.  Output is byte-"
+             "identical to --jobs 1 (default)")
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print simulator counters (events, resumes, peak heap) and "
+             "events/sec per experiment")
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
 
     if args.experiment == "table1":
         if args.resume:
@@ -79,8 +104,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all" and args.jobs != 1:
+        # Fan whole (experiment, machine) combos; each worker runs its cells
+        # serially, so the machine is never oversubscribed.  Results print
+        # in deterministic (sorted-name, machine-list) order and CSVs are
+        # written by this parent process.
+        from repro.bench.executor import run_experiments
+
+        kwargs = {"scale": args.scale, "resume": args.resume, "jobs": 1}
+        specs = [(name, m, kwargs)
+                 for exp in names
+                 for name, m in _combos(exp, args.machine)]
+        for result in run_experiments(specs, args.jobs):
+            _print_result(result, args.csv, args.verbose)
+        return 0
     for name in names:
-        _run_one(name, args.machine, args.scale, args.csv, args.resume)
+        _run_one(name, args.machine, args.scale, args.csv, args.resume,
+                 args.jobs, args.verbose)
     return 0
 
 

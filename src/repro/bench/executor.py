@@ -1,0 +1,108 @@
+"""Parallel sweep execution engine (``--jobs N`` / ``run_sweep(parallel=)``).
+
+The paper's evaluation grid — machines × collectives × stacks × message
+sizes — is embarrassingly parallel: every (stack, size) cell builds a fresh
+:class:`~repro.mpi.runtime.Machine`, fault plans fork per build, and each
+simulator iterates its flows and events in creation-id order, so a cell's
+measured time is a pure function of its inputs.  This module fans cells
+(and, for ``repro.bench all``, whole experiments) across worker processes;
+the parent remains the single writer merging results into the cell map and
+the checkpoint journal, which is what makes parallel sweeps byte-identical
+to serial ones (see DESIGN.md §11).
+
+Workers resolve ``harness.imb_time`` dynamically, so a monkeypatched
+measurement function is honoured in forked workers too (the equivalence
+tests rely on this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["resolve_jobs", "run_cells", "run_experiments"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count for a ``--jobs`` value (0/None = one per CPU)."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise BenchmarkError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _mp_context():
+    """Prefer fork (workers inherit monkeypatches and loaded specs)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _run_cell(task: tuple) -> tuple[str, float, Any]:
+    """Measure one (stack, size) cell; runs inside a worker process."""
+    machine, stack, nprocs, operation, size, settings = task
+    from repro.bench import harness, imb
+
+    t = harness.imb_time(machine, stack, nprocs, operation, size, settings)
+    return f"{stack.name}|{size}", t, imb.consume_cell_stats()
+
+
+def run_cells(
+    machine: str,
+    operation: str,
+    nprocs: int,
+    settings,
+    cells: Sequence[tuple],
+    jobs: int,
+) -> Iterator[tuple[str, float, Any]]:
+    """Yield ``(cell key, seconds, CellStats|None)`` for each (stack, size).
+
+    Results arrive in completion order — the caller journals them as they
+    land and rebuilds the (deterministic) series from the full cell map at
+    the end, so ordering never affects output.  A worker exception
+    propagates to the caller and terminates the pool; cells already yielded
+    stay journaled, so a failed parallel sweep resumes exactly like a
+    killed serial one.
+    """
+    tasks = [(machine, stack, nprocs, operation, size, settings)
+             for stack, size in cells]
+    n = min(resolve_jobs(jobs), len(tasks))
+    if n <= 1:
+        for task in tasks:
+            yield _run_cell(task)
+        return
+    ctx = _mp_context()
+    with ctx.Pool(processes=n) as pool:
+        yield from pool.imap_unordered(_run_cell, tasks)
+
+
+def _run_experiment(spec: tuple) -> Any:
+    """Run one whole (experiment, machine) combo; runs inside a worker."""
+    name, machine, kwargs = spec
+    from repro.bench.experiments import EXPERIMENTS
+
+    fn, takes_machine = EXPERIMENTS[name]
+    if takes_machine:
+        return fn(machine, **kwargs)
+    return fn(**kwargs)
+
+
+def run_experiments(specs: Sequence[tuple], jobs: int) -> list:
+    """Run ``(name, machine, kwargs)`` combos across workers, preserving
+    input order in the returned results.
+
+    Used by ``repro.bench all --jobs N``: fanning whole experiments keeps
+    each worker's cells serial (no oversubscription) while the independent
+    experiments overlap.  Results are ExperimentResults (picklable).
+    """
+    specs = list(specs)
+    n = min(resolve_jobs(jobs), len(specs))
+    if n <= 1:
+        return [_run_experiment(s) for s in specs]
+    ctx = _mp_context()
+    with ctx.Pool(processes=n) as pool:
+        return pool.map(_run_experiment, specs)

@@ -13,17 +13,19 @@ from __future__ import annotations
 import csv
 import json
 import os
+import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import IO, Iterable, Optional
 
-from repro.bench.imb import ImbSettings, imb_time
+from repro.bench import imb
+from repro.bench.imb import CellStats, ImbSettings, imb_time
 from repro.errors import BenchmarkError
 from repro.faults.plan import FaultPlan
 from repro.mpi.stacks import Stack
 from repro.units import fmt_size, fmt_time
 
-__all__ = ["Series", "ExperimentResult", "run_sweep", "results_dir",
-           "checkpoint_path"]
+__all__ = ["Series", "ExperimentResult", "SweepStats", "run_sweep",
+           "results_dir", "checkpoint_path"]
 
 
 def results_dir() -> str:
@@ -63,6 +65,51 @@ class Series:
 
 
 @dataclass
+class SweepStats:
+    """Aggregate simulator counters and wall-clock of one sweep.
+
+    Carried on :class:`ExperimentResult` (CSV output is unaffected) and
+    printed by ``repro.bench --verbose`` so the perf claims of hot-path
+    changes stay inspectable.  Cells replayed from a checkpoint contribute
+    to ``cells_resumed`` only; monkeypatched measurements (tests) count as
+    run cells with no simulator counters.
+    """
+
+    cells_run: int = 0
+    cells_resumed: int = 0
+    sim_events: int = 0
+    process_resumes: int = 0
+    peak_heap: int = 0
+    wall_seconds: float = 0.0
+
+    def add_cell(self, stats: Optional[CellStats]) -> None:
+        self.cells_run += 1
+        if stats is None:
+            return
+        self.sim_events += stats.sim_events
+        self.process_resumes += stats.process_resumes
+        if stats.peak_heap > self.peak_heap:
+            self.peak_heap = stats.peak_heap
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator events dispatched per wall-clock second (0 if unknown)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_events / self.wall_seconds
+
+    def render(self) -> str:
+        return (
+            f"cells: {self.cells_run} run, {self.cells_resumed} resumed | "
+            f"sim events: {self.sim_events} | "
+            f"process resumes: {self.process_resumes} | "
+            f"peak heap: {self.peak_heap} | "
+            f"wall: {self.wall_seconds:.3f}s | "
+            f"events/sec: {self.events_per_sec:,.0f}"
+        )
+
+
+@dataclass
 class ExperimentResult:
     """All curves of one experiment plus rendering helpers."""
 
@@ -72,6 +119,9 @@ class ExperimentResult:
     nprocs: int
     series: list[Series]
     reference: str
+    #: simulator counters + wall time of the sweep that produced this result
+    #: (None for results not built by :func:`run_sweep`)
+    stats: Optional[SweepStats] = None
 
     @property
     def sizes(self) -> list[int]:
@@ -164,39 +214,110 @@ def _sweep_header(experiment: str, machine: str, operation: str, nprocs: int,
     }
 
 
-def _load_checkpoint(path: str, header: dict) -> dict[str, float]:
-    """Completed cells from ``path``; empty when absent or unreadable."""
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-    except FileNotFoundError:
-        return {}
-    except (OSError, ValueError) as err:
-        raise BenchmarkError(f"corrupt sweep checkpoint {path}: {err}") from err
-    if data.get("header") != header:
+def _check_header(found: Optional[dict], header: dict, path: str) -> None:
+    if found != header:
         raise BenchmarkError(
             f"sweep checkpoint {path} belongs to a different sweep "
             f"(header mismatch); delete it to start over")
-    cells = data.get("cells", {})
-    if not isinstance(cells, dict):
-        raise BenchmarkError(f"corrupt sweep checkpoint {path}: no cell map")
+
+
+def _load_checkpoint(path: str, header: dict) -> dict[str, float]:
+    """Completed cells from ``path``; empty when absent.
+
+    Reads the append-only journal (format 2: a header line followed by one
+    ``{"cell": key, "t": seconds}`` line per completed cell).  A torn final
+    line — the signature of a crash mid-append — is dropped; anything else
+    malformed is a typed error.  Old format-1 checkpoints (a single JSON
+    document with a ``cells`` map) are read transparently; the caller's
+    compaction rewrite migrates them.
+    """
+    try:
+        with open(path) as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return {}
+    except OSError as err:
+        raise BenchmarkError(f"corrupt sweep checkpoint {path}: {err}") from err
+    if not raw.strip():
+        return {}
+    lines = raw.splitlines()
+    try:
+        head = json.loads(lines[0])
+    except ValueError as err:
+        raise BenchmarkError(f"corrupt sweep checkpoint {path}: {err}") from err
+    if not isinstance(head, dict):
+        raise BenchmarkError(f"corrupt sweep checkpoint {path}: bad header line")
+    if "format" not in head:
+        # Format 1: the whole file is one JSON document.
+        try:
+            data = json.loads(raw)
+        except ValueError as err:
+            raise BenchmarkError(
+                f"corrupt sweep checkpoint {path}: {err}") from err
+        _check_header(data.get("header"), header, path)
+        cells = data.get("cells", {})
+        if not isinstance(cells, dict):
+            raise BenchmarkError(f"corrupt sweep checkpoint {path}: no cell map")
+        return cells
+    if head.get("format") != _JOURNAL_FORMAT:
+        raise BenchmarkError(
+            f"corrupt sweep checkpoint {path}: "
+            f"unknown journal format {head.get('format')!r}")
+    _check_header(head.get("header"), header, path)
+    cells: dict[str, float] = {}
+    last = len(lines)
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+            key, t = rec["cell"], rec["t"]
+            if not isinstance(key, str) or not isinstance(t, (int, float)):
+                raise ValueError("bad cell record")
+        except (ValueError, KeyError, TypeError) as err:
+            if lineno == last:
+                break  # torn tail from a crash mid-append; cell re-runs
+            raise BenchmarkError(
+                f"corrupt sweep checkpoint {path}: "
+                f"bad journal line {lineno}") from err
+        cells[key] = t
     return cells
 
 
-def _write_checkpoint(path: str, header: dict, cells: dict[str, float]) -> None:
-    """Atomic journal update: write a sibling temp file, then rename.
+_JOURNAL_FORMAT = 2
 
-    A crash between any two cells leaves either the previous checkpoint or
-    the new one on disk — never a torn file.  Floats go through ``json``
-    verbatim (``repr`` round-trip), so a resumed sweep reproduces CSVs
-    byte-for-byte.
+
+def _compact_checkpoint(path: str, header: dict,
+                        cells: dict[str, float]) -> None:
+    """Atomically rewrite the journal as header + one line per known cell.
+
+    Write-temp-then-rename: a crash leaves either the previous journal or
+    the compacted one — never a torn file.  Run once per sweep start, this
+    also migrates format-1 checkpoints and drops torn tails/duplicates.
     """
     tmp = path + ".tmp"
     with open(tmp, "w") as fh:
-        json.dump({"header": header, "cells": cells}, fh, sort_keys=True)
+        fh.write(json.dumps({"format": _JOURNAL_FORMAT, "header": header},
+                            sort_keys=True) + "\n")
+        for key in sorted(cells):
+            fh.write(_journal_line(key, cells[key]))
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+
+
+def _journal_line(key: str, t: float) -> str:
+    # Floats go through json ``repr`` verbatim (exact round-trip), so a
+    # resumed sweep reproduces CSVs byte-for-byte.
+    return json.dumps({"cell": key, "t": t}) + "\n"
+
+
+def _journal_append(fh: IO[str], key: str, t: float) -> None:
+    """O(1) durable append of one completed cell (vs the old full rewrite,
+    which made a sweep's checkpoint cost quadratic in cells)."""
+    fh.write(_journal_line(key, t))
+    fh.flush()
+    os.fsync(fh.fileno())
 
 
 def run_sweep(
@@ -210,6 +331,7 @@ def run_sweep(
     reference: Optional[str] = None,
     fault_plan: Optional["FaultPlan"] = None,
     checkpoint: Optional[str] = None,
+    parallel: int = 1,
 ) -> ExperimentResult:
     """Run the (stack x size) grid and return the collected curves.
 
@@ -217,11 +339,18 @@ def run_sweep(
     (forked per build, so call counters restart per cell); with the default
     ``None`` the kernel path stays on its zero-overhead fast path.
 
-    ``checkpoint`` names a JSON journal file: every completed (stack, size)
-    cell is recorded there atomically (write-temp-then-rename), and cells
-    already journaled are skipped on restart.  Because each cell builds a
-    fresh machine, a killed-and-resumed sweep produces the same times — and
-    therefore byte-identical CSVs — as an uninterrupted one.
+    ``checkpoint`` names a journal file: every completed (stack, size) cell
+    is appended there durably (header line + one JSON line per cell; the
+    journal is compacted — and old-format checkpoints migrated — on load),
+    and cells already journaled are skipped on restart.  Because each cell
+    builds a fresh machine, a killed-and-resumed sweep produces the same
+    times — and therefore byte-identical CSVs — as an uninterrupted one.
+
+    ``parallel`` fans pending cells across worker processes (0 = one per
+    CPU; see :mod:`repro.bench.executor`).  Each cell is a pure function of
+    its inputs, every simulator iterates in creation-id order, and the cell
+    map is merged by this single writer, so parallel runs produce CSVs and
+    checkpoints byte-identical to ``parallel=1``.
     """
     stacks = list(stacks)
     sizes = list(sizes)
@@ -236,20 +365,42 @@ def run_sweep(
         header = _sweep_header(experiment, machine, operation, nprocs,
                                settings)
         cells = _load_checkpoint(checkpoint, header)
+        _compact_checkpoint(checkpoint, header, cells)
+    stats = SweepStats(cells_resumed=len(cells))
+    wall0 = time.perf_counter()
+    pending = [(stack, size) for stack in stacks for size in sizes
+               if f"{stack.name}|{size}" not in cells]
+    journal: Optional[IO[str]] = None
+    if checkpoint is not None and pending:
+        journal = open(checkpoint, "a")
+    try:
+        if parallel != 1 and pending:
+            from repro.bench.executor import run_cells
+
+            for key, t, cell_stats in run_cells(
+                    machine, operation, nprocs, settings, pending,
+                    jobs=parallel):
+                cells[key] = t
+                stats.add_cell(cell_stats)
+                if journal is not None:
+                    _journal_append(journal, key, t)
+        else:
+            for stack, size in pending:
+                t = imb_time(machine, stack, nprocs, operation, size, settings)
+                key = f"{stack.name}|{size}"
+                cells[key] = t
+                stats.add_cell(imb.consume_cell_stats())
+                if journal is not None:
+                    _journal_append(journal, key, t)
+    finally:
+        if journal is not None:
+            journal.close()
+    stats.wall_seconds = time.perf_counter() - wall0
     series = []
     for stack in stacks:
         s = Series(stack.name)
         for size in sizes:
-            key = f"{stack.name}|{size}"
-            done = cells.get(key)
-            if done is not None:
-                s.times[size] = done
-                continue
-            t = imb_time(machine, stack, nprocs, operation, size, settings)
-            s.times[size] = t
-            if checkpoint is not None:
-                cells[key] = t
-                _write_checkpoint(checkpoint, header, cells)
+            s.times[size] = cells[f"{stack.name}|{size}"]
         series.append(s)
     return ExperimentResult(
         experiment=experiment,
@@ -258,4 +409,5 @@ def run_sweep(
         nprocs=nprocs,
         series=series,
         reference=reference or stacks[-1].name,
+        stats=stats,
     )

@@ -26,7 +26,35 @@ from repro.faults.plan import FaultPlan
 from repro.mpi.runtime import Job, Machine, Proc
 from repro.mpi.stacks import Stack
 
-__all__ = ["ImbSettings", "OPS", "imb_time", "iterations_for"]
+__all__ = ["ImbSettings", "OPS", "CellStats", "consume_cell_stats",
+           "imb_time", "iterations_for"]
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Simulator counters of one measured sweep cell (picklable)."""
+
+    sim_events: int
+    process_resumes: int
+    peak_heap: int
+
+
+#: Counters of the most recent :func:`imb_time` call.  A module global
+#: (consumed via :func:`consume_cell_stats`) instead of a richer return
+#: type so tests can keep monkeypatching ``harness.imb_time`` with plain
+#: ``float``-returning fakes.
+_last_cell_stats: Optional[CellStats] = None
+
+
+def consume_cell_stats() -> Optional[CellStats]:
+    """Counters of the last :func:`imb_time` call, cleared on read.
+
+    ``None`` when no real measurement ran since the previous consume (e.g.
+    the caller's ``imb_time`` was monkeypatched).
+    """
+    global _last_cell_stats
+    stats, _last_cell_stats = _last_cell_stats, None
+    return stats
 
 
 @dataclass(frozen=True)
@@ -178,4 +206,11 @@ def imb_time(
         machine.arm_faults(settings.fault_plan.fork())
     job = Job(machine, nprocs=nprocs, stack=stack)
     result = job.run(_imb_program, op, msg_size, iters, settings)
+    global _last_cell_stats
+    sim = machine.sim
+    _last_cell_stats = CellStats(
+        sim_events=sim.events_processed,
+        process_resumes=sim.process_resumes,
+        peak_heap=sim.peak_heap,
+    )
     return max(result.values) / iters

@@ -38,6 +38,11 @@ _EPS_BYTES = 0.25
 _EPS_RATE = 1e-3
 
 
+def _flow_id(f: "Flow") -> int:
+    """Sort key for deterministic flow iteration (creation order)."""
+    return f.id
+
+
 class Resource:
     """A capacity-limited hardware component (memory port, link, engine).
 
@@ -210,7 +215,10 @@ class FlowNetwork:
 
     def _rebalance(self) -> None:
         """Recompute max-min fair rates and reschedule the next completion."""
-        finished = [f for f in self._active if f.remaining <= _EPS_BYTES]
+        # Sorted by creation id so completion events fire in a
+        # memory-layout-independent order (see _assign_rates).
+        finished = sorted(
+            (f for f in self._active if f.remaining <= _EPS_BYTES), key=_flow_id)
         for flow in finished:
             self._retire(flow)
         self._assign_rates(self._active)
@@ -226,15 +234,21 @@ class FlowNetwork:
         Incremental bookkeeping keeps each filling round O(|flows| +
         |resources|): per-resource weight sums and member sets shrink as
         flows freeze, instead of being recomputed from scratch.
+
+        Every float accumulation here walks flows in creation-id order.
+        Flow ids are per-process creation counters, identical for the same
+        cell in any process; raw set order is keyed on object addresses, so
+        summing in it would give ULP-different rates from run to run and
+        break the byte-identical serial/parallel CSV guarantee.
         """
-        unfrozen = set(flows)
-        for f in unfrozen:
+        ordered = sorted(flows, key=_flow_id)
+        for f in ordered:
             f.rate = 0.0
         residual: dict[Resource, float] = {}
         wsum: dict[Resource, float] = {}
         members: dict[Resource, set[Flow]] = {}
         streams: dict[Resource, float] = {}
-        for f in unfrozen:
+        for f in ordered:
             for r, w in f.weights.items():
                 wsum[r] = wsum.get(r, 0.0) + w
                 streams[r] = streams.get(r, 0.0) + f.streams_on(r)
@@ -245,6 +259,8 @@ class FlowNetwork:
         for r, n in streams.items():
             residual[r] = r.effective_capacity(int(round(n)))
 
+        unfrozen = set(ordered)
+
         def freeze(f: Flow) -> None:
             for r, w in f.weights.items():
                 wsum[r] -= w
@@ -253,7 +269,8 @@ class FlowNetwork:
         # All unfrozen flows carry the same uniform rate, so flows freeze on
         # their demand caps in ascending-demand order: a sorted sweep frees
         # whole batches per filling round instead of one flow at a time.
-        by_demand = sorted(unfrozen, key=lambda f: f.demand)
+        # (Stable sort over the id-ordered list: demand ties break by id.)
+        by_demand = sorted(ordered, key=lambda f: f.demand)
         demand_ptr = 0
         rate = 0.0  # the uniform rate every unfrozen flow has received
         while unfrozen:
@@ -299,7 +316,8 @@ class FlowNetwork:
                 if bottleneck is None:
                     break  # all demand-capped; loop would have frozen them
                 frozen = set(members[bottleneck])
-            for f in frozen:
+            # wsum decrements are float subtractions: fixed order again.
+            for f in sorted(frozen, key=_flow_id):
                 f.rate = rate
                 freeze(f)
             unfrozen -= frozen

@@ -243,11 +243,21 @@ MACHINES: dict[str, Callable[[], MachineSpec]] = {
 }
 
 
+#: Memoized named specs: frozen dataclasses, so every Machine built from the
+#: same name shares one instance (and with it the per-spec topology,
+#: distance-matrix, and route caches keyed on it).
+_SPEC_CACHE: dict[str, MachineSpec] = {}
+
+
 def get_machine(name: str) -> MachineSpec:
     """Build one of the paper's machines by (case-insensitive) name."""
-    try:
-        return MACHINES[name.lower()]()
-    except KeyError:
-        raise HardwareConfigError(
-            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
-        ) from None
+    key = name.lower()
+    spec = _SPEC_CACHE.get(key)
+    if spec is None:
+        try:
+            spec = _SPEC_CACHE[key] = MACHINES[key]()
+        except KeyError:
+            raise HardwareConfigError(
+                f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+            ) from None
+    return spec

@@ -102,6 +102,48 @@ class CopyRequest:
         self.label = label
 
 
+#: Memoized per-spec routing: (routes, link latencies).  Shared read-only
+#: between MemorySystem instances — nothing mutates them after build.
+_ROUTE_CACHE: dict[
+    MachineSpec,
+    tuple[dict[tuple[int, int], list[tuple[int, int]]],
+          dict[tuple[int, int], float]],
+] = {}
+
+
+def _route_tables(spec: MachineSpec) -> tuple[
+    dict[tuple[int, int], list[tuple[int, int]]],
+    dict[tuple[int, int], float],
+]:
+    """Shortest-path link routes between all domain pairs, per spec."""
+    cached = _ROUTE_CACHE.get(spec)
+    if cached is not None:
+        return cached
+    graph = nx.Graph()
+    graph.add_nodes_from(range(spec.n_domains))
+    link_latency: dict[tuple[int, int], float] = {}
+    for link in spec.links:
+        link_latency[link.key] = link.latency
+        # Prefer few hops, then fat pipes, deterministically.
+        graph.add_edge(link.a, link.b, weight=1.0 + 1e-12 / link.bandwidth)
+    routes: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for a in range(spec.n_domains):
+        for b in range(spec.n_domains):
+            if a == b:
+                routes[(a, b)] = []
+                continue
+            try:
+                path = nx.shortest_path(graph, a, b, weight="weight")
+            except nx.NetworkXNoPath:
+                raise RoutingError(
+                    f"no link path between domains {a} and {b}") from None
+            routes[(a, b)] = [
+                (min(u, v), max(u, v)) for u, v in zip(path, path[1:])
+            ]
+    _ROUTE_CACHE[spec] = (routes, link_latency)
+    return routes, link_latency
+
+
 class MemorySystem:
     """Owns the flow network, resources, routing, and cache bookkeeping."""
 
@@ -127,30 +169,13 @@ class MemorySystem:
             for d in range(spec.n_domains)
         ]
         self.links: dict[tuple[int, int], Resource] = {}
-        self._link_latency: dict[tuple[int, int], float] = {}
-        graph = nx.Graph()
-        graph.add_nodes_from(range(spec.n_domains))
         for link in spec.links:
             if link.key in self.links:
                 raise HardwareConfigError(f"duplicate link {link.key}")
             self.links[link.key] = Resource(f"link{link.key}", link.bandwidth)
-            self._link_latency[link.key] = link.latency
-            # Prefer few hops, then fat pipes, deterministically.
-            graph.add_edge(link.a, link.b, weight=1.0 + 1e-12 / link.bandwidth)
-        self._routes: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        for a in range(spec.n_domains):
-            for b in range(spec.n_domains):
-                if a == b:
-                    self._routes[(a, b)] = []
-                    continue
-                try:
-                    path = nx.shortest_path(graph, a, b, weight="weight")
-                except nx.NetworkXNoPath:
-                    raise RoutingError(
-                        f"no link path between domains {a} and {b}") from None
-                self._routes[(a, b)] = [
-                    (min(u, v), max(u, v)) for u, v in zip(path, path[1:])
-                ]
+        # Route tables and latencies are pure functions of the frozen spec;
+        # share one shortest-path pass across every machine built from it.
+        self._routes, self._link_latency = _route_tables(spec)
 
         # Optional I/OAT-style DMA engine (one per machine, era-typical
         # rate); time-sliced like a core engine.
@@ -344,16 +369,22 @@ class MemorySystem:
                               dirty=True)
         self.bytes_copied += req.nbytes
         self.copies += 1
-        self.tracer.emit(
-            "copy",
-            core=req.core,
-            src=req.src.label,
-            dst=req.dst.label,
-            nbytes=req.nbytes,
-            kernel=req.kernel,
-            label=req.label,
-            src_buf=req.src.id,
-            src_off=req.src_off,
-            dst_buf=req.dst.id,
-            dst_off=req.dst_off,
-        )
+        # Hot path: skip building the 11-field kwargs dict when tracing is
+        # off; the always-on per-category counter is maintained either way.
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "copy",
+                core=req.core,
+                src=req.src.label,
+                dst=req.dst.label,
+                nbytes=req.nbytes,
+                kernel=req.kernel,
+                label=req.label,
+                src_buf=req.src.id,
+                src_off=req.src_off,
+                dst_buf=req.dst.id,
+                dst_off=req.dst_off,
+            )
+        else:
+            tracer.tick("copy")

@@ -148,9 +148,13 @@ class KnemDriver:
         cookie = next(self._cookie_seq)
         self._regions[cookie] = KnemRegion(cookie, core, buffer, offset, length, prot)
         self.stats_registrations += 1
-        self.tracer.emit("knem.register", core=core, cookie=cookie,
-                         length=length, prot=prot, buf=buffer.id,
-                         buf_label=buffer.label, offset=offset)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("knem.register", core=core, cookie=cookie,
+                    length=length, prot=prot, buf=buffer.id,
+                    buf_label=buffer.label, offset=offset)
+        else:
+            tr.tick("knem.register")
         return cookie
 
     def destroy_region(self, core: int, cookie: int):
@@ -172,8 +176,12 @@ class KnemDriver:
         # attempted after this instant as use-after-deregister.
         region.alive = False
         self.stats_deregistrations += 1
-        self.tracer.emit("knem.deregister", core=core, cookie=cookie,
-                         buf=region.buffer.id)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("knem.deregister", core=core, cookie=cookie,
+                    buf=region.buffer.id)
+        else:
+            tr.tick("knem.deregister")
         yield self.sim.timeout(self.costs.syscall
                                + self.costs.unpin_time(region.length))
 
@@ -261,13 +269,17 @@ class KnemDriver:
             dst, dst_off = local, local_offset
         self.stats_copies += 1
         self.stats_bytes += nbytes
-        self.tracer.emit(
-            "knem.copy", core=core, cookie=cookie, nbytes=nbytes,
-            write=write, dma=bool(flags & FLAG_DMA),
-            region_buf=region.buffer.id,
-            region_start=region.offset + region_offset,
-            local_buf=local.id, local_start=local_offset,
-        )
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "knem.copy", core=core, cookie=cookie, nbytes=nbytes,
+                write=write, dma=bool(flags & FLAG_DMA),
+                region_buf=region.buffer.id,
+                region_start=region.offset + region_offset,
+                local_buf=local.id, local_start=local_offset,
+            )
+        else:
+            tr.tick("knem.copy")
         if flags & FLAG_DMA:
             return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes,
                                      label="knem-dma")

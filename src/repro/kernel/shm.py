@@ -76,8 +76,12 @@ class Mailbox:
     def post(self, sender_core: int, payload: Any):
         """Sender-side deposit; generator (``yield from``), returns None."""
         self.posted += 1
-        self.tracer.emit("shm.post", box=self.name, src_core=sender_core,
-                         dst_core=self.owner_core)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("shm.post", box=self.name, src_core=sender_core,
+                    dst_core=self.owner_core)
+        else:
+            tr.tick("shm.post")
         yield self.sim.timeout(self.costs.mailbox_write)
         delay = mailbox_latency(self.spec, sender_core, self.owner_core)
         self.sim.schedule(delay, lambda: self._channel.put(payload))
@@ -85,8 +89,12 @@ class Mailbox:
     def post_nowait(self, sender_core: int, payload: Any) -> None:
         """Fire-and-forget variant for completion callbacks (no sender cost)."""
         self.posted += 1
-        self.tracer.emit("shm.post", box=self.name, src_core=sender_core,
-                         dst_core=self.owner_core)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("shm.post", box=self.name, src_core=sender_core,
+                    dst_core=self.owner_core)
+        else:
+            tr.tick("shm.post")
         delay = self.costs.mailbox_write + mailbox_latency(
             self.spec, sender_core, self.owner_core
         )
@@ -173,9 +181,13 @@ class FifoSegment:
 
     def publish(self, slot: int, nbytes: int, meta: Any = None) -> None:
         """Sender side: make a filled slot visible to the receiver."""
-        self.tracer.emit("shm.fifo_publish", fifo=self.name, slot=slot,
-                         nbytes=nbytes, src_core=self.sender_core,
-                         dst_core=self.receiver_core)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("shm.fifo_publish", fifo=self.name, slot=slot,
+                    nbytes=nbytes, src_core=self.sender_core,
+                    dst_core=self.receiver_core)
+        else:
+            tr.tick("shm.fifo_publish")
         delay = self.costs.mailbox_write + mailbox_latency(
             self.spec, self.sender_core, self.receiver_core
         )

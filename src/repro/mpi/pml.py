@@ -133,8 +133,11 @@ class PmlEndpoint:
         """
         ticket = self._take_ticket(dest_world)
         hb = next(_hb_seq)
-        self.machine.tracer.emit("mpi.send", src=self.proc.rank,
-                                 dst=dest_world, hb=hb)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.send", src=self.proc.rank, dst=dest_world, hb=hb)
+        else:
+            tr.tick("mpi.send")
         return self._send_impl(ticket, cid, src_rank, dest_world, tag, buf,
                                offset, nbytes, obj, hb)
 
@@ -203,7 +206,11 @@ class PmlEndpoint:
         self._emit_send_done(hb)
 
     def _emit_send_done(self, hb: int) -> None:
-        self.machine.tracer.emit("mpi.send_done", src=self.proc.rank, hb=hb)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.send_done", src=self.proc.rank, hb=hb)
+        else:
+            tr.tick("mpi.send_done")
 
     def _post_ordered(self, ticket, peer: "PmlEndpoint", env: Envelope):
         """Post the envelope once every earlier send to this peer posted."""
@@ -214,7 +221,11 @@ class PmlEndpoint:
         # this instant — notably a KNEM region registered by the protocol
         # *after* the call-site ``mpi.send`` record (the cookie rides in this
         # very envelope, so it is visible to the matching receiver).
-        self.machine.tracer.emit("mpi.inject", src=self.proc.rank, hb=env.hb)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.inject", src=self.proc.rank, hb=env.hb)
+        else:
+            tr.tick("mpi.inject")
         yield from peer.mailbox.post(self.proc.core, env)
         mine.succeed(None)
 
@@ -361,8 +372,12 @@ class PmlEndpoint:
         req = Request(self.sim, "recv")
         src_world = (None if source == ANY_SOURCE
                      else self.world.comm_world_rank(cid, source))
-        self.machine.tracer.emit("mpi.recv_post", rank=self.proc.rank,
-                                 src=src_world, req=req.id)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.recv_post", rank=self.proc.rank,
+                    src=src_world, req=req.id)
+        else:
+            tr.tick("mpi.recv_post")
         posted = PostedRecv(source, tag, buf, offset, nbytes, req, want_object)
         engine = self.engines.setdefault(cid, MatchEngine())
         env = engine.post(posted)
@@ -408,8 +423,12 @@ class PmlEndpoint:
                     raise MpiError(f"unmatched FIN for send seq {env.payload}")
                 # HB edge: the receiver's copy completion happens-before
                 # anything the sender does after its blocking send returns.
-                self.machine.tracer.emit("mpi.fin_recv", rank=self.proc.rank,
-                                         seq=env.payload)
+                tr = self.machine.tracer
+                if tr.enabled:
+                    tr.emit("mpi.fin_recv", rank=self.proc.rank,
+                            seq=env.payload)
+                else:
+                    tr.tick("mpi.fin_recv")
                 waiter.succeed(env.nack)
                 continue
             if env.kind == RETX:
@@ -431,9 +450,13 @@ class PmlEndpoint:
         # any out-of-band cookie) has reached this rank, so everything the
         # sender did before `mpi.send` is now visible here — including to
         # the in-kernel copy this delivery may be about to perform.
-        self.machine.tracer.emit("mpi.recv", rank=self.proc.rank,
-                                 src_comm=env.src, hb=env.hb,
-                                 req=posted.request.id)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.recv", rank=self.proc.rank,
+                    src_comm=env.src, hb=env.hb,
+                    req=posted.request.id)
+        else:
+            tr.tick("mpi.recv")
         if not env.is_object and posted.buf is not None and env.nbytes > posted.nbytes:
             exc = TruncationError(
                 f"rank {self.proc.rank}: incoming {env.nbytes}B message "
@@ -509,8 +532,11 @@ class PmlEndpoint:
         posted.request._finish(status)
 
     def _send_fin(self, env: Envelope, nack: bool = False) -> None:
-        self.machine.tracer.emit("mpi.fin_send", rank=self.proc.rank,
-                                 seq=env.seq)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("mpi.fin_send", rank=self.proc.rank, seq=env.seq)
+        else:
+            tr.tick("mpi.fin_send")
         fin = make_fin(env.cid, env.src, env.seq, nack=nack)
         sender = self.world.endpoint(env.reply_to)
         sender.mailbox.post_nowait(self.proc.core, fin)

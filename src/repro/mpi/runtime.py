@@ -61,8 +61,11 @@ class Machine:
         self.shm = ShmWorld(self.sim, spec, self.mem, costs=self.costs)
         self.knem = KnemDriver(self.sim, self.mem, costs=self.costs,
                                tracer=self.tracer)
-        self.topology = Topology(spec)
-        self.distances = DistanceMatrix(self.topology)
+        # Memoized per-spec: the tree and matrix are immutable and their
+        # construction (O(n_cores²) ancestor walks) would otherwise dominate
+        # per-cell machine builds in a sweep.
+        self.topology = Topology.for_spec(spec)
+        self.distances = DistanceMatrix.for_spec(spec)
         #: armed :class:`FaultPlan` (shared handle; also hooked into the
         #: kernel services) — the MPI layer consults it for rank-level rules
         self.fault_plan: Optional[FaultPlan] = None

@@ -107,14 +107,19 @@ class Event:
         if self.callbacks is None:
             # Already processed: schedule a fresh zero-delay dispatch so the
             # caller still gets asynchronous (deterministic) notification.
+            # ``fn`` always receives the *original* event, so late waiters
+            # observe the same value/failure early waiters did.
             proxy = Event(self.sim, name=f"{self.name}:late")
-            proxy.add_callback(lambda _e: fn(self))
+            proxy.callbacks.append(lambda _e: fn(self))
             if self._ok:
                 proxy.succeed(self._value)
             else:
-                # Late waiters on a failed event observe the failure too, but
-                # via the proxy so the original defused flag is respected.
-                proxy.succeed(None)
+                # The failure already surfaced (or was defused) when the
+                # original was processed; the proxy's copy is pre-defused so
+                # it is not reported a second time, but ``fn`` still sees a
+                # failed event and can re-raise it into its process.
+                proxy._defused = True
+                proxy.fail(self._value)
         else:
             self.callbacks.append(fn)
 
@@ -162,6 +167,12 @@ class Simulator:
         self._seq = 0
         # Live processes (for deadlock diagnostics); maintained by Process.
         self._live_processes: dict[int, Any] = {}
+        #: events popped and dispatched so far (maintained by step()/run())
+        self.events_processed = 0
+        #: generator resumptions so far (maintained by Process._resume)
+        self.process_resumes = 0
+        #: high-water mark of the event queue
+        self.peak_heap = 0
 
     # -- queue plumbing ---------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
@@ -169,7 +180,10 @@ class Simulator:
             raise SimulationError(f"event {event!r} already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heap = self._heap
+        heapq.heappush(heap, (self.now + delay, self._seq, event))
+        if len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` simulated seconds; returns the event."""
@@ -208,6 +222,7 @@ class Simulator:
         if t < self.now - 1e-18:
             raise SimulationError("event queue went backwards in time")
         self.now = t
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for cb in callbacks:
@@ -222,17 +237,36 @@ class Simulator:
         Raises :class:`~repro.errors.DeadlockError` if the queue drains while
         simulated processes are still blocked (no ``until`` given).
         """
-        if until is not None and until < self.now:
-            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
-        while self._heap:
-            t = self._heap[0][0]
-            if until is not None and t > until:
-                self.now = until
-                return
-            self.step()
         if until is not None:
+            if until < self.now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self.now})")
+            while self._heap:
+                if self._heap[0][0] > until:
+                    break
+                self.step()
             self.now = until
             return
+        # Hot loop: inlined step() without the per-event monotonicity check
+        # (enqueue can only schedule at >= now, so the heap cannot go
+        # backwards) or attribute re-lookups.  This is where whole sweeps
+        # spend their time; see benchmarks/bench_simcore.py.
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            while heap:
+                t, _seq, event = pop(heap)
+                dispatched += 1
+                self.now = t
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not event._defused:
+                    # A failure nobody waited on: surface it, don't lose it.
+                    raise event._value
+        finally:
+            self.events_processed += dispatched
         blocked_procs = sorted(
             (p for p in self._live_processes.values() if not p.daemon),
             key=lambda p: p.name,
@@ -260,3 +294,12 @@ class Simulator:
     @property
     def queue_size(self) -> int:
         return len(self._heap)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cheap always-on counters (``repro.bench --verbose`` prints them)."""
+        return {
+            "events_processed": self.events_processed,
+            "process_resumes": self.process_resumes,
+            "peak_heap": self.peak_heap,
+        }

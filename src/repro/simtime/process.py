@@ -23,7 +23,8 @@ __all__ = ["Process", "AllOf", "AnyOf"]
 class Process(Event):
     """A coroutine scheduled by the simulator; also an awaitable event."""
 
-    __slots__ = ("_gen", "_waiting_on", "daemon", "owner", "_death_callbacks")
+    __slots__ = ("_gen", "_waiting_on", "daemon", "owner", "_death_callbacks",
+                 "_resume_cb")
 
     _ids = 0
 
@@ -41,11 +42,18 @@ class Process(Event):
         self.owner = owner
         self._waiting_on: Event | None = None
         self._death_callbacks: list = []
+        # One bound method reused for every wakeup instead of a fresh
+        # closure per yield: processes re-arm on every event they wait on,
+        # so this is one of the hottest allocation sites in a sweep.
+        self._resume_cb = self._resume
         sim._live_processes[id(self)] = self
         # Kick off on the next queue dispatch at the current time.
         start = Event(sim, name=f"{self.name}:start")
-        start.add_callback(lambda ev: self._resume(ev, forced=True))
+        start.callbacks.append(self._start)  # type: ignore[union-attr]
         start.succeed(None)
+
+    def _start(self, event: Event) -> None:
+        self._resume(event, forced=True)
 
     @property
     def is_alive(self) -> bool:
@@ -73,6 +81,7 @@ class Process(Event):
             # it instead of granting a token nobody will ever use.
             stale._abandoned = True
         self._waiting_on = None
+        self.sim.process_resumes += 1
         try:
             if event._ok is False:
                 event._defused = True
@@ -100,7 +109,14 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Re-arm: inline the common (unprocessed target) add_callback path
+        # with the cached bound method; fall back for already-processed
+        # targets, which need the zero-delay proxy dispatch.
+        cbs = target.callbacks
+        if cbs is not None:
+            cbs.append(self._resume_cb)
+        else:
+            target.add_callback(self._resume_cb)
 
     def _finish_ok(self, value: Any) -> None:
         self.sim._live_processes.pop(id(self), None)

@@ -52,6 +52,17 @@ class Tracer:
         if self.enabled:
             self.records.append(TraceRecord(self._clock(), category, fields))
 
+    def tick(self, category: str) -> None:
+        """Count-only fast path for hot call sites.
+
+        Per-message/per-copy sites guard with ``if tracer.enabled:
+        tracer.emit(...) else: tracer.tick(...)`` so a disabled tracer never
+        pays for building the kwargs dict — the dominant cost of
+        :meth:`emit` in tight simulation loops — while the always-on
+        counters stay exact.
+        """
+        self.counters[category] += 1
+
     def select(self, category: str) -> Iterator[TraceRecord]:
         """Iterate records of one category (requires ``enabled``)."""
         return (r for r in self.records if r.category == category)

@@ -27,8 +27,26 @@ from repro.topology.objects import Topology
 __all__ = ["DistanceMatrix", "group_by_domain", "leader_order"]
 
 
+#: Shared per-spec matrices (see :meth:`DistanceMatrix.for_spec`).
+_DISTANCE_CACHE: dict[MachineSpec, "DistanceMatrix"] = {}
+
+
 class DistanceMatrix:
     """Pairwise distance lookup with a precomputed numpy matrix."""
+
+    @classmethod
+    def for_spec(cls, spec: MachineSpec) -> "DistanceMatrix":
+        """Memoized shared instance for ``spec``.
+
+        The O(n_cores²) common-ancestor walk dominates Machine construction
+        on IG (48 cores); the result depends only on the frozen spec, so
+        repeated sweep cells share one matrix (marked read-only to keep the
+        sharing safe).
+        """
+        dm = _DISTANCE_CACHE.get(spec)
+        if dm is None:
+            dm = _DISTANCE_CACHE[spec] = cls(Topology.for_spec(spec))
+        return dm
 
     def __init__(self, topology: Topology):
         self.topology = topology
@@ -38,6 +56,7 @@ class DistanceMatrix:
         for a in range(n):
             for b in range(a + 1, n):
                 m[a, b] = m[b, a] = self._distance(spec, topology, a, b)
+        m.flags.writeable = False
         self.matrix = m
 
     @staticmethod

@@ -71,8 +71,26 @@ class TopologyObject:
         return f"<{self.type}#{self.index} cpuset={self.cpuset}>"
 
 
+#: Shared per-spec topology trees (see :meth:`Topology.for_spec`).
+_TOPOLOGY_CACHE: dict[MachineSpec, "Topology"] = {}
+
+
 class Topology:
     """Discovered topology of a machine; query object by hwloc-like calls."""
+
+    @classmethod
+    def for_spec(cls, spec: MachineSpec) -> "Topology":
+        """Memoized shared instance for ``spec``.
+
+        The tree is immutable after construction (nothing in the runtime
+        mutates TopologyObject state), so every Machine built from the same
+        frozen spec can share one discovery pass.  Use the constructor
+        directly if a private mutable tree is ever needed.
+        """
+        topo = _TOPOLOGY_CACHE.get(spec)
+        if topo is None:
+            topo = _TOPOLOGY_CACHE[spec] = cls(spec)
+        return topo
 
     def __init__(self, spec: MachineSpec):
         self.spec = spec

@@ -1,11 +1,13 @@
 """Crash-safe sweep checkpoints: kill a sweep mid-run, resume, same bytes.
 
 ``run_sweep(checkpoint=...)`` journals each completed (stack, size) cell to
-an atomic JSON file next to the CSV.  These tests pin the whole contract:
+an append-only JSONL file next to the CSV (format 2: one header line plus
+one line per cell, compacted on load).  These tests pin the whole contract:
 an interrupted sweep resumed from its checkpoint re-runs only the missing
 cells and produces a byte-identical CSV, a checkpoint from a *different*
-sweep is refused, and a corrupt journal is a typed error — never silently
-wrong numbers.
+sweep is refused, a corrupt journal is a typed error — never silently wrong
+numbers — a torn final line (crash mid-append) just re-runs that cell, and
+old format-1 checkpoints are migrated transparently.
 """
 
 import json
@@ -25,6 +27,18 @@ SIZES = [32 * KiB, 128 * KiB]
 STACKS = [stacks.TUNED_SM, stacks.KNEM_COLL]
 SETTINGS = ImbSettings(max_iterations=1, warmups=0)
 N_CELLS = len(SIZES) * len(STACKS)
+
+
+def read_journal(path):
+    """Parse the JSONL journal into (header, cells) like the loader does."""
+    lines = open(path).read().splitlines()
+    head = json.loads(lines[0])
+    assert head["format"] == 2
+    cells = {}
+    for line in lines[1:]:
+        rec = json.loads(line)
+        cells[rec["cell"]] = rec["t"]
+    return head["header"], cells
 
 
 @pytest.fixture
@@ -67,8 +81,8 @@ class TestResume:
             sweep(checkpoint=ckpt)
         monkeypatch.undo()
 
-        journal = json.loads(open(ckpt).read())
-        assert len(journal["cells"]) == 2  # exactly the completed cells
+        _header, cells = read_journal(ckpt)
+        assert len(cells) == 2  # exactly the completed cells
         assert not os.path.exists(ckpt + ".tmp")  # rename, no debris
 
         resumed = sweep(checkpoint=ckpt).to_csv(str(results_dir / "resumed.csv"))
@@ -95,6 +109,63 @@ class TestResume:
         again = sweep(checkpoint=ckpt)
         assert counter.calls == 0
         assert [s.times for s in again.series] == [s.times for s in first.series]
+        assert again.stats.cells_resumed == N_CELLS
+        assert again.stats.cells_run == 0
+
+    def test_torn_final_line_reruns_only_that_cell(
+            self, results_dir, monkeypatch):
+        # A crash mid-append leaves a torn last line; the loader drops it
+        # (that cell re-runs) and keeps every complete line before it.
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        raw = open(ckpt).read().splitlines(keepends=True)
+        with open(ckpt, "w") as fh:
+            fh.writelines(raw[:-1])
+            fh.write(raw[-1][: len(raw[-1]) // 2])  # torn tail
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        sweep(checkpoint=ckpt)
+        assert counter.calls == 1
+
+    def test_bad_interior_line_is_a_typed_error(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        raw = open(ckpt).read().splitlines(keepends=True)
+        raw[1] = "{ not json\n"  # corruption *before* the final line
+        with open(ckpt, "w") as fh:
+            fh.writelines(raw)
+        with pytest.raises(BenchmarkError, match="corrupt"):
+            sweep(checkpoint=ckpt)
+
+
+class TestMigration:
+    def test_format1_checkpoint_is_migrated(self, results_dir, monkeypatch):
+        # Build a complete journal, rewrite it in the retired format-1
+        # layout (one JSON document), and resume: no cell re-runs and the
+        # file comes back as a format-2 journal.
+        ckpt = checkpoint_path("ckpt", "dancer")
+        first = sweep(checkpoint=ckpt)
+        header, cells = read_journal(ckpt)
+        with open(ckpt, "w") as fh:
+            json.dump({"header": header, "cells": cells}, fh, sort_keys=True)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        again = sweep(checkpoint=ckpt)
+        assert counter.calls == 0
+        assert [s.times for s in again.series] == [s.times for s in first.series]
+        migrated_header, migrated_cells = read_journal(ckpt)
+        assert migrated_header == header
+        assert migrated_cells == cells
+
+    def test_format1_header_mismatch_still_refused(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        header, cells = read_journal(ckpt)
+        header = dict(header, nprocs=8)
+        with open(ckpt, "w") as fh:
+            json.dump({"header": header, "cells": cells}, fh, sort_keys=True)
+        with pytest.raises(BenchmarkError, match="different sweep"):
+            sweep(checkpoint=ckpt)
 
 
 class TestValidation:
@@ -116,25 +187,32 @@ class TestValidation:
         with pytest.raises(BenchmarkError, match="corrupt"):
             sweep(checkpoint=ckpt)
 
+    def test_unknown_journal_format_is_a_typed_error(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        with open(ckpt, "w") as fh:
+            fh.write('{"format": 99, "header": {}}\n')
+        with pytest.raises(BenchmarkError, match="corrupt"):
+            sweep(checkpoint=ckpt)
+
     def test_missing_checkpoint_starts_fresh(self, results_dir):
         ckpt = checkpoint_path("ckpt", "dancer")
         res = sweep(checkpoint=ckpt)
         assert os.path.exists(ckpt)
-        journal = json.loads(open(ckpt).read())
-        assert len(journal["cells"]) == N_CELLS
+        _header, cells = read_journal(ckpt)
+        assert len(cells) == N_CELLS
         for s in res.series:
             for size, t in s.times.items():
-                assert journal["cells"][f"{s.name}|{size}"] == t
+                assert cells[f"{s.name}|{size}"] == t
 
     def test_checkpoint_floats_round_trip_exactly(self, results_dir):
         # json round-trip must preserve the float bit pattern, else the
         # resumed CSV would differ in the low digits
         ckpt = checkpoint_path("ckpt", "dancer")
         res = sweep(checkpoint=ckpt)
-        journal = json.loads(open(ckpt).read())
+        _header, cells = read_journal(ckpt)
         for s in res.series:
             for size, t in s.times.items():
-                assert journal["cells"][f"{s.name}|{size}"] == t
+                assert cells[f"{s.name}|{size}"] == t
 
 
 class TestCli:

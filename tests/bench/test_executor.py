@@ -1,0 +1,191 @@
+"""Serial/parallel sweep equivalence: same cells, same bytes.
+
+The executor's whole contract is that ``run_sweep(parallel=N)`` is an
+implementation detail: every (stack, size) cell builds a fresh machine and
+the simulator iterates deterministically, so fanning cells across worker
+processes must change *nothing observable* — CSVs are byte-identical,
+checkpoints are interchangeable between serial and parallel runs, fault
+plans inject identically, and a parallel sweep that dies mid-run resumes
+(serially or in parallel) to the same bytes.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.bench.executor import resolve_jobs, run_experiments
+from repro.bench.harness import checkpoint_path, run_sweep
+from repro.bench.imb import ImbSettings
+from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.mpi import stacks
+from repro.units import KiB
+
+SIZES = [32 * KiB, 128 * KiB]
+STACKS = [stacks.TUNED_SM, stacks.KNEM_COLL]
+SETTINGS = ImbSettings(max_iterations=1, warmups=0)
+N_CELLS = len(SIZES) * len(STACKS)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="monkeypatch inheritance needs the fork start method")
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def sweep(parallel=1, checkpoint=None, fault_plan=None, experiment="par"):
+    return run_sweep(
+        experiment=experiment, machine="dancer", operation="bcast", nprocs=4,
+        stacks=STACKS, sizes=SIZES, settings=SETTINGS, reference="KNEM-Coll",
+        checkpoint=checkpoint, fault_plan=fault_plan, parallel=parallel)
+
+
+class TestEquivalence:
+    def test_parallel_csv_is_byte_identical_to_serial(self, results_dir):
+        serial = sweep(parallel=1).to_csv(str(results_dir / "serial.csv"))
+        par = sweep(parallel=2).to_csv(str(results_dir / "parallel.csv"))
+        assert open(par, "rb").read() == open(serial, "rb").read()
+
+    def test_parallel_equals_serial_under_fault_plan(self, results_dir):
+        plan = FaultPlan([FaultRule(op="register", probability=0.5)], seed=7)
+        serial = sweep(parallel=1, fault_plan=plan).to_csv(
+            str(results_dir / "serial.csv"))
+        par = sweep(parallel=2, fault_plan=plan).to_csv(
+            str(results_dir / "parallel.csv"))
+        assert open(par, "rb").read() == open(serial, "rb").read()
+
+    def test_parallel_checkpoint_is_byte_identical_to_serial(
+            self, results_dir):
+        ser_ckpt = checkpoint_path("ser", "dancer")
+        par_ckpt = checkpoint_path("par", "dancer")
+        sweep(parallel=1, checkpoint=ser_ckpt, experiment="ser")
+        sweep(parallel=2, checkpoint=par_ckpt, experiment="par")
+        # Cell lines land in completion order; cell *values* must match.
+        ser = sorted(open(ser_ckpt).read().splitlines()[1:])
+        par = sorted(open(par_ckpt).read().splitlines()[1:])
+        assert ser == par
+
+    def test_checkpoints_interchange_between_modes(
+            self, results_dir, monkeypatch):
+        # A parallel-written checkpoint resumes a serial sweep with zero
+        # re-runs, and vice versa.
+        ckpt = checkpoint_path("par", "dancer")
+        first = sweep(parallel=2, checkpoint=ckpt)
+        calls = []
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda *a, **kw: calls.append(a) or 0.0)
+        again = sweep(parallel=1, checkpoint=ckpt)
+        assert calls == []
+        assert [s.times for s in again.series] == [s.times for s in first.series]
+
+        ckpt2 = checkpoint_path("ser", "dancer")
+        monkeypatch.undo()
+        second = sweep(parallel=1, checkpoint=ckpt2, experiment="ser")
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda *a, **kw: calls.append(a) or 0.0)
+        resumed = sweep(parallel=2, checkpoint=ckpt2, experiment="ser")
+        assert calls == []
+        assert [s.times for s in resumed.series] == \
+               [s.times for s in second.series]
+
+
+class OneCellBomb:
+    """Fail exactly one chosen cell, let every other cell run for real."""
+
+    def __init__(self, bad_key):
+        self.real = harness.imb_time
+        self.bad_key = bad_key
+
+    def __call__(self, machine, stack, nprocs, op, size, settings,
+                 *args, **kwargs):
+        if f"{stack.name}|{size}" == self.bad_key:
+            raise BenchmarkError(f"injected failure in {self.bad_key}")
+        return self.real(machine, stack, nprocs, op, size, settings,
+                         *args, **kwargs)
+
+
+@needs_fork
+class TestCrashResume:
+    def test_parallel_failure_then_serial_resume_is_byte_identical(
+            self, results_dir, monkeypatch):
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("par", "dancer")
+        bad = f"{STACKS[-1].name}|{SIZES[-1]}"
+        monkeypatch.setattr(harness, "imb_time", OneCellBomb(bad))
+        with pytest.raises(BenchmarkError, match="injected"):
+            sweep(parallel=2, checkpoint=ckpt)
+        monkeypatch.undo()
+
+        journal = open(ckpt).read().splitlines()
+        assert 1 <= len(journal) <= N_CELLS  # header + cells that completed
+
+        resumed = sweep(parallel=1, checkpoint=ckpt).to_csv(
+            str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+    def test_parallel_failure_then_parallel_resume_is_byte_identical(
+            self, results_dir, monkeypatch):
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("par", "dancer")
+        bad = f"{STACKS[0].name}|{SIZES[0]}"
+        monkeypatch.setattr(harness, "imb_time", OneCellBomb(bad))
+        with pytest.raises(BenchmarkError, match="injected"):
+            sweep(parallel=2, checkpoint=ckpt)
+        monkeypatch.undo()
+
+        resumed = sweep(parallel=2, checkpoint=ckpt).to_csv(
+            str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+    def test_forked_workers_see_monkeypatched_imb_time(
+            self, results_dir, monkeypatch):
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda m, stack, n, op, size, s: float(size))
+        result = sweep(parallel=2)
+        for s in result.series:
+            assert s.times == {size: float(size) for size in SIZES}
+
+
+class TestStats:
+    def test_sweep_stats_counts_cells_and_events(self, results_dir):
+        result = sweep(parallel=1)
+        st = result.stats
+        assert st.cells_run == N_CELLS
+        assert st.cells_resumed == 0
+        assert st.sim_events > 0
+        assert st.process_resumes > 0
+        assert st.peak_heap > 0
+        assert st.wall_seconds > 0
+        assert st.events_per_sec > 0
+        assert "events/sec" in st.render()
+
+    @needs_fork
+    def test_parallel_sweep_reports_same_sim_counters(self, results_dir):
+        serial = sweep(parallel=1).stats
+        par = sweep(parallel=2).stats
+        assert par.sim_events == serial.sim_events
+        assert par.process_resumes == serial.process_resumes
+        assert par.peak_heap == serial.peak_heap
+
+
+class TestExecutorApi:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        with pytest.raises(BenchmarkError):
+            resolve_jobs(-1)
+
+    def test_run_experiments_preserves_order(self, results_dir):
+        kwargs = {"scale": "smoke", "resume": False, "jobs": 1}
+        specs = [("fig5", "dancer", kwargs), ("fig6", "dancer", kwargs)]
+        results = run_experiments(specs, jobs=2)
+        assert [r.experiment for r in results] == ["fig5", "fig6"]
+        assert all(r.machine == "dancer" for r in results)

@@ -189,3 +189,100 @@ class TestSimulator:
         assert sim.queue_size == 2
         sim.run()
         assert sim.queue_size == 0
+
+
+class TestLateFailure:
+    """Late registration on an already-processed *failed* event.
+
+    Regression tests: the late-registration proxy used to succeed with
+    ``None``, so late waiters saw a successful event where early waiters
+    saw the failure.
+    """
+
+    def _failed_processed_event(self, sim, caught):
+        ev = sim.event()
+
+        def early():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            ev.fail(ValueError("boom"))
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        sim.process(early(), name="early")
+        sim.process(failer(), name="failer")
+        sim.run()
+        assert ev.processed and not ev.ok
+        return ev
+
+    def test_late_callback_sees_failure(self, sim):
+        caught = []
+        ev = self._failed_processed_event(sim, caught)
+        seen = []
+        ev.add_callback(lambda e: seen.append((e is ev, e.ok, str(e.value))))
+        sim.run()
+        assert caught == ["boom"]
+        assert seen == [(True, False, "boom")]
+
+    def test_late_process_waiter_sees_failure(self, sim):
+        caught = []
+        ev = self._failed_processed_event(sim, caught)
+
+        def late():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(f"late:{exc}")
+
+        sim.process(late(), name="late")
+        sim.run()  # must not re-surface the defused failure either
+        assert caught == ["boom", "late:boom"]
+
+    def test_allof_with_processed_failed_child_fails(self, sim):
+        from repro.simtime import AllOf
+
+        caught = []
+        bad = self._failed_processed_event(sim, caught)
+        ok = sim.event().succeed(1)
+        comp = AllOf(sim, [ok, bad])
+
+        def waiter():
+            try:
+                yield comp
+            except ValueError as exc:
+                caught.append(f"allof:{exc}")
+
+        sim.process(waiter(), name="waiter")
+        sim.run()
+        assert caught == ["boom", "allof:boom"]
+        assert not comp.ok
+
+
+class TestCounters:
+    def test_counters_start_at_zero(self, sim):
+        assert sim.stats == {"events_processed": 0, "process_resumes": 0,
+                             "peak_heap": 0}
+
+    def test_counters_track_activity(self, sim):
+        def prog():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(prog(), name="p")
+        sim.run()
+        st = sim.stats
+        assert st["events_processed"] >= 3  # start + two timeouts
+        assert st["process_resumes"] >= 3
+        assert st["peak_heap"] >= 1
+
+    def test_run_until_also_counts(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run(until=1.5)
+        assert sim.stats["events_processed"] == 1
+        sim.run()
+        assert sim.stats["events_processed"] == 2
