@@ -15,18 +15,25 @@ of a traced run and checks the properties the paper's design leans on:
   dies with :class:`~repro.errors.DeadlockError`
   (:mod:`repro.analysis.deadlock`).
 
-Entry points: ``python -m repro.analysis`` (CLI), :func:`run_analysis`
-(programmatic), and the ``analyze_schedule`` pytest marker
-(:mod:`repro.analysis.pytest_plugin`).
+A second, trace-independent layer lives in :mod:`repro.analysis.static`:
+the symbolic schedule model checker (``--verify``), the DPOR interleaving
+explorer, the KNEM-San runtime sanitizer, and the repro-specific AST lint
+pass (``--lint``).
+
+Entry points: ``python -m repro.analysis`` (CLI), :func:`run_analysis` /
+:func:`repro.analysis.static.verify_schedule` (programmatic), and the
+``analyze_schedule`` pytest marker (:mod:`repro.analysis.pytest_plugin`).
 """
 
 from repro.analysis.direction import DirectionSpec, static_scan
 from repro.analysis.findings import (
     ERROR,
     WARNING,
+    Baseline,
     Finding,
     Report,
     checker_names,
+    finding_id,
     run_checkers,
 )
 from repro.analysis.model import TraceModel, build_model
@@ -36,9 +43,11 @@ from repro.analysis.vectorclock import VectorClock
 __all__ = [
     "ERROR",
     "WARNING",
+    "Baseline",
     "Finding",
     "Report",
     "checker_names",
+    "finding_id",
     "run_checkers",
     "TraceModel",
     "build_model",

@@ -8,7 +8,10 @@ see the same set without hand-maintained lists.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -19,6 +22,8 @@ __all__ = [
     "WARNING",
     "Finding",
     "Report",
+    "Baseline",
+    "finding_id",
     "register_checker",
     "checker_names",
     "get_checker",
@@ -45,10 +50,16 @@ class Finding:
     rank: int | None = None
     details: dict = field(default_factory=dict)
 
+    @property
+    def fid(self) -> str:
+        """Stable 12-hex identifier (see :func:`finding_id`)."""
+        return finding_id(self)
+
     def render(self) -> str:
         where = f" [rank {self.rank}]" if self.rank is not None else ""
         return (f"{self.severity.upper():7s} "
-                f"{self.checker}/{self.category}{where}: {self.message}")
+                f"{self.checker}/{self.category}{where} "
+                f"({self.fid}): {self.message}")
 
 
 @dataclass
@@ -85,6 +96,57 @@ class Report:
         for f in self.findings:
             lines.append(f.render())
         return "\n".join(lines)
+
+
+def finding_id(f: Finding) -> str:
+    """Deterministic 12-hex id over the finding's identity fields.
+
+    Computed from ``checker``/``category``/``rank``/``message`` only, so a
+    finding keeps its id across runs, re-orderings, and detail changes —
+    stable enough to pin in a suppression baseline.
+    """
+    payload = "\0".join((f.checker, f.category, str(f.rank), f.message))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=6).hexdigest()
+
+
+@dataclass
+class Baseline:
+    """Known-findings suppression list (``analysis-baseline.json``).
+
+    Format::
+
+        {"version": 1,
+         "suppress": [{"id": "a1b2c3d4e5f6", "reason": "why"}]}
+
+    Suppressed findings are still reported (marked) but do not affect the
+    exit code.
+    """
+
+    suppress: dict[str, str] = field(default_factory=dict)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if raw.get("version") != 1:
+            raise ValueError(
+                f"{path}: unsupported baseline version {raw.get('version')!r}")
+        suppress = {}
+        for entry in raw.get("suppress", []):
+            suppress[str(entry["id"])] = str(entry.get("reason", ""))
+        return cls(suppress=suppress, path=str(path))
+
+    def suppressed(self, f: Finding) -> bool:
+        return f.fid in self.suppress
+
+    def partition(self, findings: Iterable[Finding]
+                  ) -> "tuple[list[Finding], list[Finding]]":
+        """Split into (active, suppressed)."""
+        active: list[Finding] = []
+        quiet: list[Finding] = []
+        for f in findings:
+            (quiet if self.suppressed(f) else active).append(f)
+        return active, quiet
 
 
 #: name -> checker callable(model) -> Iterable[Finding]

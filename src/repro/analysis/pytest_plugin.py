@@ -8,9 +8,11 @@ Opt a test in with one decorator::
         job.run(program, args)
 
 While the marker is active, every :class:`~repro.mpi.runtime.Job` created
-by the test forces tracing on its machine, each ``run()`` records the slice
-of trace it produced, and at teardown all registered checkers run over each
-slice — the test fails if any checker reports a finding.
+by the test forces tracing on its machine **and arms the KNEM-San runtime
+sanitizer** (:class:`~repro.analysis.static.shadowmem.SingleCopySanitizer`);
+each ``run()`` records the slice of trace it produced, and at teardown all
+registered checkers run over each slice and sanitizer findings are merged
+in — the test fails if any checker or the sanitizer reports a finding.
 
 Marker options::
 
@@ -24,6 +26,7 @@ import pytest
 
 from repro.analysis.findings import run_checkers
 from repro.analysis.model import build_model
+from repro.analysis.static.shadowmem import SingleCopySanitizer
 from repro.mpi.runtime import Job
 
 __all__ = ["pytest_configure"]
@@ -52,6 +55,8 @@ def _schedule_analysis(request, monkeypatch):
 
     def traced_init(self, machine, *args, **kwargs):
         machine.tracer.enabled = True
+        if machine.sanitizer is None:
+            machine.arm_sanitizer(SingleCopySanitizer())
         orig_init(self, machine, *args, **kwargs)
 
     def traced_run(self, program, *args):
@@ -65,11 +70,16 @@ def _schedule_analysis(request, monkeypatch):
     monkeypatch.setattr(Job, "run", traced_run)
     yield
     findings = []
+    sanitized = set()
     for job, start, end in runs:
         model = build_model(job,
                             records=job.machine.tracer.records[start:end],
                             direction_spec=direction)
         findings.extend(run_checkers(model, checkers))
+        sanitizer = job.machine.sanitizer
+        if sanitizer is not None and id(sanitizer) not in sanitized:
+            sanitized.add(id(sanitizer))
+            findings.extend(sanitizer.findings)
     if findings:
         pytest.fail(
             "schedule analysis found issues:\n"

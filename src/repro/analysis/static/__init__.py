@@ -1,0 +1,69 @@
+"""Static schedule verification and the KNEM-San runtime sanitizer.
+
+Three trace-independent layers on top of the PR 1 trace analyzers:
+
+- :mod:`repro.analysis.static.schedules` — a symbolic extractor that runs
+  the *real* ``coll/`` schedule builders against stub hardware (no
+  :class:`~repro.simtime.core.Simulator` involved) and checks the resulting
+  happens-before model for byte-range races, cookie use-after-invalidate
+  and board synchronization;
+- :mod:`repro.analysis.static.interleave` — a sleep-set/DPOR explorer that
+  replays the extracted per-rank schedules under every inequivalent
+  interleaving, proving wait-cycle deadlock freedom and witnessing racy
+  orders;
+- :mod:`repro.analysis.static.shadowmem` — byte-interval shadow memory:
+  the pure interval logic shared with the checker, plus the runtime
+  "KNEM-San" sanitizer armed via :meth:`repro.mpi.runtime.Machine.arm_sanitizer`;
+- :mod:`repro.analysis.static.lint` — the repro-specific AST lint pass
+  (wall-clock time, unseeded randomness, unguarded trace emits, cookie
+  release on abort paths).
+"""
+
+from repro.analysis.static.interleave import (
+    ExploreResult,
+    Op,
+    explore_model,
+    explore_ops,
+    interleaving_log10,
+)
+from repro.analysis.static.lint import lint_paths, lint_source
+from repro.analysis.static.schedules import (
+    ScheduleModel,
+    VerifyResult,
+    component_stack,
+    extract_model,
+    verify_model,
+    verify_registry,
+    verify_schedule,
+)
+from repro.analysis.static.shadowmem import (
+    Access,
+    FifoSanitizer,
+    KnemSanitizer,
+    SingleCopySanitizer,
+    accesses_conflict,
+    intervals_overlap,
+)
+
+__all__ = [
+    "ExploreResult",
+    "Op",
+    "explore_model",
+    "explore_ops",
+    "interleaving_log10",
+    "lint_paths",
+    "lint_source",
+    "ScheduleModel",
+    "VerifyResult",
+    "component_stack",
+    "extract_model",
+    "verify_model",
+    "verify_registry",
+    "verify_schedule",
+    "Access",
+    "FifoSanitizer",
+    "KnemSanitizer",
+    "SingleCopySanitizer",
+    "accesses_conflict",
+    "intervals_overlap",
+]

@@ -7,6 +7,8 @@ one tree shape serve any root.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 __all__ = [
     "vrank_of",
     "rank_of",
@@ -16,7 +18,77 @@ __all__ = [
     "binary_parent_children",
     "chain_neighbors",
     "segments",
+    "ScheduleSpec",
+    "export_schedule",
+    "exported_schedules",
+    "schedule_names",
+    "get_schedule",
 ]
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One exported collective schedule, registered for static verification.
+
+    Every collective component module calls :func:`export_schedule` at import
+    time for each operation it implements, so ``repro.analysis.static`` can
+    enumerate and model-check the full algorithm surface without knowing the
+    components by name.  ``direction`` / ``concurrent`` mirror the
+    :class:`repro.analysis.direction.DirectionSpec` contract the schedule is
+    expected to honour ("mixed" imposes no direction constraint).
+    """
+
+    component: str
+    op: str
+    direction: str = "mixed"
+    concurrent: bool = False
+    description: str = ""
+    #: tuning-field overrides that select algorithm variants worth verifying
+    #: separately (e.g. forcing the multi-level board tree on 2-board specs).
+    variants: tuple[tuple[str, tuple[tuple[str, object], ...]], ...] = field(
+        default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        return f"{self.component}.{self.op}"
+
+
+#: name -> spec, in registration (module import) order.
+_SCHEDULES: "dict[str, ScheduleSpec]" = {}
+
+
+def export_schedule(component: str, op: str, *, direction: str = "mixed",
+                    concurrent: bool = False, description: str = "",
+                    variants: "dict[str, dict[str, object]] | None" = None,
+                    ) -> ScheduleSpec:
+    """Register one (component, operation) schedule for static verification."""
+    frozen = tuple(sorted((name, tuple(sorted(changes.items())))
+                          for name, changes in (variants or {}).items()))
+    spec = ScheduleSpec(component=component, op=op, direction=direction,
+                        concurrent=concurrent, description=description,
+                        variants=frozen)
+    _SCHEDULES[spec.name] = spec
+    return spec
+
+
+def exported_schedules(component: str | None = None) -> list[ScheduleSpec]:
+    """All registered schedules (optionally for one component)."""
+    specs = list(_SCHEDULES.values())
+    if component is not None:
+        specs = [s for s in specs if s.component == component]
+    return specs
+
+
+def schedule_names() -> list[str]:
+    return list(_SCHEDULES)
+
+
+def get_schedule(name: str) -> ScheduleSpec:
+    try:
+        return _SCHEDULES[name]
+    except KeyError:
+        raise KeyError(f"no exported schedule named {name!r}; "
+                       f"known: {', '.join(_SCHEDULES) or '(none)'}") from None
 
 
 def vrank_of(rank: int, root: int, size: int) -> int:

@@ -7,6 +7,7 @@ target inside KNEM-Coll below its 16 KB threshold).
 
 from __future__ import annotations
 
+from repro.coll.algorithms import export_schedule
 from repro.coll.base import BaseColl, register_component
 
 __all__ = ["BasicColl"]
@@ -15,3 +16,10 @@ __all__ = ["BasicColl"]
 @register_component("basic")
 class BasicColl(BaseColl):
     """Linear algorithms over point-to-point for every operation."""
+
+
+for _op in ("barrier", "bcast", "scatter", "gather", "allgather", "alltoall",
+            "reduce", "allreduce"):
+    export_schedule("basic", _op,
+                    description=f"linear reference {_op} over point-to-point")
+del _op

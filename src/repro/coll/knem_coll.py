@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.coll.algorithms import segments
+from repro.coll.algorithms import export_schedule, segments
 from repro.coll.base import BaseColl, register_component
 from repro.coll.hierarchy import build_board_tree, build_tree, hierarchy_worthwhile
 from repro.coll.tuned import TunedColl
@@ -684,3 +684,27 @@ class KnemColl(BaseColl):
         finally:
             if cookie is not None:
                 knem.reclaim(core, cookie)
+
+
+export_schedule(
+    "knem", "bcast", direction="read", concurrent=True,
+    description="receiver-reading single-copy broadcast (flat / hierarchical)",
+    variants={"multilevel": {"hierarchy_levels": 3},
+              "flat": {"hierarchical": False}})
+export_schedule(
+    "knem", "scatter", direction="read", concurrent=True,
+    description="receivers read their slice of the root region")
+export_schedule(
+    "knem", "gather", direction="write", concurrent=True,
+    description="sender-writing gather into the root's writable region",
+    variants={"root-reads": {"gather_direction_write": False}})
+export_schedule(
+    "knem", "allgather", direction="mixed", concurrent=True,
+    description="gather to rank 0 followed by broadcast")
+export_schedule(
+    "knem", "alltoallv", direction="read", concurrent=True,
+    description="rotated receiver-reading exchange over boarded cookies",
+    variants={"unrotated": {"rotate_alltoall": False}})
+export_schedule(
+    "knem", "barrier", direction="mixed",
+    description="dissemination barrier over out-of-band messages")

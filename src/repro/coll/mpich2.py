@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.coll.algorithms import (
     binomial_children,
+    export_schedule,
     binomial_parent,
     binomial_subtree_size,
     rank_of,
@@ -168,3 +169,13 @@ class Mpich2Coll(TunedColl):
             yield from BaseColl.alltoall(self, ctx, sendbuf, recvbuf, count)
             return
         yield from self._alltoall_pairwise(ctx, sendbuf, recvbuf, count)
+
+
+export_schedule("mpich2", "bcast",
+                description="binomial, then van de Geijn scatter+allgather")
+export_schedule("mpich2", "scatter", description="binomial at every size")
+export_schedule("mpich2", "gather", description="binomial at every size")
+export_schedule("mpich2", "allgather",
+                description="recursive doubling below 512 KiB (pow2) or ring")
+export_schedule("mpich2", "alltoall",
+                description="pairwise exchange above 256-byte blocks")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.coll.algorithms import rank_of, segments, vrank_of
+from repro.coll.algorithms import export_schedule, rank_of, segments, vrank_of
 from repro.coll.base import BaseColl, register_component
 from repro.hardware.memory import SimBuffer
 from repro.mpi.communicator import CollCtx
@@ -95,3 +95,9 @@ class SmTreeColl(BaseColl):
         if v != 0:
             yield from ctx.send(rank_of(parent, root, size), temp, 0,
                                 len(mine) * count)
+
+
+export_schedule("smtree", "bcast",
+                description="fixed-degree fan-out tree, segment pipelined")
+export_schedule("smtree", "gather",
+                description="fixed-degree fan-in with subtree aggregation")

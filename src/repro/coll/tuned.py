@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.coll.algorithms import (
     binary_parent_children,
+    export_schedule,
     binomial_children,
     binomial_parent,
     binomial_subtree_size,
@@ -242,3 +243,15 @@ class TunedColl(BaseColl):
                 sendto, sendbuf, sendto * count, count,
                 recvfrom, recvbuf, recvfrom * count, count, phase=step,
             )
+
+
+export_schedule("tuned", "bcast",
+                description="binomial / split-binary / chain pipeline by size")
+export_schedule("tuned", "scatter",
+                description="binomial below 6 KiB, linear otherwise")
+export_schedule("tuned", "gather",
+                description="binomial below 6 KiB, linear otherwise")
+export_schedule("tuned", "allgather",
+                description="recursive doubling (pow2) or ring")
+export_schedule("tuned", "alltoall",
+                description="pairwise exchange for all but tiny messages")

@@ -45,9 +45,13 @@ class KnemHealth:
         if not self.disqualified and self.consecutive_failures >= self.fail_limit:
             self.disqualified = True
         self.degrade_events += 1
-        self.tracer.emit("knem.degrade", core=core, op=op,
-                         consecutive=self.consecutive_failures,
-                         disqualified=self.disqualified)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("knem.degrade", core=core, op=op,
+                    consecutive=self.consecutive_failures,
+                    disqualified=self.disqualified)
+        else:
+            tr.tick("knem.degrade")
         return self.disqualified
 
     def note_success(self) -> None:
@@ -56,6 +60,10 @@ class KnemHealth:
             return  # disqualification is final for the job
         if self.consecutive_failures:
             self.total_recoveries += 1
-            self.tracer.emit("knem.requalify",
-                             after_failures=self.consecutive_failures)
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit("knem.requalify",
+                        after_failures=self.consecutive_failures)
+            else:
+                tr.tick("knem.requalify")
         self.consecutive_failures = 0

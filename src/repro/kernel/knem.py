@@ -99,6 +99,8 @@ class KnemDriver:
         self.stats_reclaims = 0
         #: armed :class:`FaultPlan` (None = zero-overhead fast path)
         self.fault_plan: Optional[FaultPlan] = None
+        #: armed KNEM-San shadow-memory sanitizer (None = zero-overhead)
+        self.sanitizer: Optional[object] = None
         #: degradation bookkeeping consulted by the MPI layers
         self.health = KnemHealth(tracer=self.tracer)
 
@@ -148,6 +150,8 @@ class KnemDriver:
         cookie = next(self._cookie_seq)
         self._regions[cookie] = KnemRegion(cookie, core, buffer, offset, length, prot)
         self.stats_registrations += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_register(core, self._regions[cookie])
         tr = self.tracer
         if tr.enabled:
             tr.emit("knem.register", core=core, cookie=cookie,
@@ -167,6 +171,9 @@ class KnemDriver:
         region = self._regions.pop(cookie, None)
         if region is None or not region.alive:
             self.stats_failed_ioctls += 1
+            if self.sanitizer is not None:
+                self.sanitizer.note_fail(core, cookie, "destroy",
+                                         "KnemInvalidCookie")
             self.tracer.emit("knem.fail", core=core, cookie=cookie,
                              op="destroy", error="KnemInvalidCookie")
             yield self.sim.timeout(self.costs.syscall)
@@ -174,6 +181,8 @@ class KnemDriver:
         # The region dies at ioctl entry, before the unpin cost is charged:
         # emit the trace event at the kill point so analyzers see copies
         # attempted after this instant as use-after-deregister.
+        if self.sanitizer is not None:
+            self.sanitizer.note_destroy(core, region)
         region.alive = False
         self.stats_deregistrations += 1
         tr = self.tracer
@@ -212,11 +221,17 @@ class KnemDriver:
         region = self._regions.pop(cookie, None)
         if region is None or not region.alive:
             return
+        if self.sanitizer is not None:
+            self.sanitizer.note_destroy(core, region, forced=True)
         region.alive = False
         self.stats_deregistrations += 1
         self.stats_reclaims += 1
-        self.tracer.emit("knem.deregister", core=core, cookie=cookie,
-                         buf=region.buffer.id, forced=True)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("knem.deregister", core=core, cookie=cookie,
+                    buf=region.buffer.id, forced=True)
+        else:
+            tr.tick("knem.deregister")
 
     def reclaim_owned(self, core: int) -> list[int]:
         """Reclaim every live region registered by ``core`` (process death).
@@ -281,10 +296,15 @@ class KnemDriver:
         else:
             tr.tick("knem.copy")
         if flags & FLAG_DMA:
-            return self.mem.dma_copy(src, src_off, dst, dst_off, nbytes,
+            done = self.mem.dma_copy(src, src_off, dst, dst_off, nbytes,
                                      label="knem-dma")
-        return self.mem.copy(core, src, src_off, dst, dst_off, nbytes,
-                             kernel=True, label="knem")
+        else:
+            done = self.mem.copy(core, src, src_off, dst, dst_off, nbytes,
+                                 kernel=True, label="knem")
+        if self.sanitizer is not None:
+            self.sanitizer.note_copy(core, region, region_offset, nbytes,
+                                     write, done)
+        return done
 
     def copy(
         self,
@@ -305,6 +325,10 @@ class KnemDriver:
                               nbytes, write, flags)
         except Exception as exc:
             self.stats_failed_ioctls += 1
+            if self.sanitizer is not None:
+                self.sanitizer.note_fail(core, cookie, "copy",
+                                         type(exc).__name__,
+                                         nbytes=nbytes, write=write)
             self.tracer.emit("knem.fail", core=core, cookie=cookie, op="copy",
                              error=type(exc).__name__, write=write,
                              nbytes=nbytes)

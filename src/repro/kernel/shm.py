@@ -154,6 +154,8 @@ class FifoSegment:
         self.tx_lock = Semaphore(mem.sim, 1, name=f"{name}:tx")
         #: armed :class:`FaultPlan` (None = zero-overhead fast path)
         self.fault_plan: Optional[FaultPlan] = None
+        #: armed slot-protocol sanitizer (None = zero-overhead fast path)
+        self.sanitizer: Optional[Any] = None
 
     def slot_offset(self, slot: int) -> int:
         if not 0 <= slot < self.n_slots:
@@ -181,6 +183,8 @@ class FifoSegment:
 
     def publish(self, slot: int, nbytes: int, meta: Any = None) -> None:
         """Sender side: make a filled slot visible to the receiver."""
+        if self.sanitizer is not None:
+            self.sanitizer.note_publish(self, slot, nbytes)
         tr = self.tracer
         if tr.enabled:
             tr.emit("shm.fifo_publish", fifo=self.name, slot=slot,
@@ -201,6 +205,8 @@ class FifoSegment:
         """Receiver side: return a drained slot to the sender."""
         if not 0 <= slot < self.n_slots:
             raise ShmError(f"slot {slot} out of range")
+        if self.sanitizer is not None:
+            self.sanitizer.note_release(self, slot)
         self.free_slots.put(slot)
 
     @property
@@ -224,10 +230,16 @@ class FifoSegment:
         for slot in range(self.n_slots):
             self.free_slots.put(slot)
         self.tx_lock.reset()
+        if self.sanitizer is not None:
+            self.sanitizer.note_reclaim(self)
         if leaked:
-            self.tracer.emit("shm.reclaim", fifo=self.name, slots=leaked,
-                             src_core=self.sender_core,
-                             dst_core=self.receiver_core)
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit("shm.reclaim", fifo=self.name, slots=leaked,
+                        src_core=self.sender_core,
+                        dst_core=self.receiver_core)
+            else:
+                tr.tick("shm.reclaim")
         return leaked
 
 
@@ -243,12 +255,19 @@ class ShmWorld:
         self._mailboxes: dict[Any, Mailbox] = {}
         self._fifos: dict[tuple[int, int], FifoSegment] = {}
         self.fault_plan: Optional[FaultPlan] = None
+        self.sanitizer: Optional[Any] = None
 
     def arm_faults(self, plan: Optional[FaultPlan]) -> None:
         """Arm (or disarm with ``None``) fault injection on every FIFO."""
         self.fault_plan = plan
         for seg in self._fifos.values():
             seg.fault_plan = plan
+
+    def arm_sanitizer(self, sanitizer: Optional[Any]) -> None:
+        """Arm (or disarm with ``None``) the slot sanitizer on every FIFO."""
+        self.sanitizer = sanitizer
+        for seg in self._fifos.values():
+            seg.sanitizer = sanitizer
 
     def mailbox(self, key: Any, owner_core: int) -> Mailbox:
         """Get-or-create the mailbox named ``key`` owned by ``owner_core``."""
@@ -310,5 +329,6 @@ class ShmWorld:
                 name=f"fifo[{sender_core}->{receiver_core}]",
             )
             seg.fault_plan = self.fault_plan
+            seg.sanitizer = self.sanitizer
             self._fifos[key] = seg
         return seg

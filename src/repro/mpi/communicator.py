@@ -171,9 +171,12 @@ class Comm:
         if plan is not None:
             rule = plan.fire_rule("rank.stall", proc.core, nbytes)
             if rule is not None and rule.delay:
-                world.machine.tracer.emit("rank.stall", rank=wrank,
-                                          core=proc.core, op=op,
-                                          delay=rule.delay)
+                tr = world.machine.tracer
+                if tr.enabled:
+                    tr.emit("rank.stall", rank=wrank, core=proc.core,
+                            op=op, delay=rule.delay)
+                else:
+                    tr.tick("rank.stall")
                 yield world.machine.sim.timeout(rule.delay)
             if plan.fire_rule("rank.crash", proc.core, nbytes) is not None:
                 world.note_crash(wrank, op)

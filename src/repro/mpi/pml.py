@@ -276,6 +276,8 @@ class PmlEndpoint:
             while done < nbytes:
                 frag = min(self.stack.fifo_fragment, nbytes - done)
                 slot = yield fifo.acquire_slot()
+                if fifo.sanitizer is not None:
+                    fifo.sanitizer.note_acquire(fifo, slot)
                 yield from self._cpu_copy(lambda done=done, slot=slot, frag=frag:
                                           self.machine.mem.copy(
                     self.proc.core, buf, offset + done,

@@ -69,6 +69,8 @@ class Machine:
         #: armed :class:`FaultPlan` (shared handle; also hooked into the
         #: kernel services) — the MPI layer consults it for rank-level rules
         self.fault_plan: Optional[FaultPlan] = None
+        #: armed KNEM-San sanitizer (shared handle; see ``arm_sanitizer``)
+        self.sanitizer = None
 
     @classmethod
     def build(cls, spec_or_name: Union[str, MachineSpec],
@@ -95,6 +97,19 @@ class Machine:
         self.knem.fault_plan = plan
         self.shm.arm_faults(plan)
         return plan
+
+    def arm_sanitizer(self, sanitizer):
+        """Arm a :class:`~repro.analysis.static.SingleCopySanitizer`.
+
+        Hooks the KNEM driver's region/copy lifecycle and the FIFO slot
+        protocol.  Pass ``None`` to disarm; the hooks then cost one
+        attribute test per kernel call (same fast path as fault plans).
+        Returns the sanitizer so call sites keep the findings handle.
+        """
+        self.sanitizer = sanitizer
+        self.knem.sanitizer = None if sanitizer is None else sanitizer.knem
+        self.shm.arm_sanitizer(None if sanitizer is None else sanitizer.fifo)
+        return sanitizer
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Machine {self.spec.name} t={self.sim.now:.6f}>"
@@ -251,8 +266,12 @@ class World:
             return
         self.dead[rank] = op
         self.live.discard(rank)
-        self.machine.tracer.emit("rank.crash", rank=rank,
-                                 core=self.procs[rank].core, op=op)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("rank.crash", rank=rank,
+                    core=self.procs[rank].core, op=op)
+        else:
+            tr.tick("rank.crash")
 
     def enter_coll(self, rank: int, op: str, comm: "Comm") -> None:
         self._active_colls[rank] = (op, comm)
@@ -312,9 +331,12 @@ class World:
         cookies = self.machine.knem.reclaim_owned(proc.core)
         slots = self.machine.shm.reclaim_core(proc.core)
         if cookies or slots:
-            self.machine.tracer.emit("rank.reclaim", rank=rank,
-                                     core=proc.core, cookies=len(cookies),
-                                     slots=slots)
+            tr = self.machine.tracer
+            if tr.enabled:
+                tr.emit("rank.reclaim", rank=rank, core=proc.core,
+                        cookies=len(cookies), slots=slots)
+            else:
+                tr.tick("rank.reclaim")
         for srank in sorted(self._active_colls):
             if srank == rank or srank in self.dead:
                 continue
@@ -588,8 +610,12 @@ class Job:
             target = p.waiting_on
             waiting[p.name] = ("" if target is None
                               else target.name or type(target).__name__)
-        self.machine.tracer.emit("watchdog.timeout", deadline=deadline,
-                                 blocked=tuple(blocked))
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit("watchdog.timeout", deadline=deadline,
+                    blocked=tuple(blocked))
+        else:
+            tr.tick("watchdog.timeout")
         diagnosis = self._diagnose_hang(blocked, waiting)
         err = ProgressTimeout(deadline, blocked, waiting=waiting,
                               diagnosis=diagnosis)

@@ -1,0 +1,97 @@
+"""Stable finding ids and the suppression baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding, finding_id
+from repro.analysis.cli import main
+
+
+def _finding(**overrides):
+    base = dict(checker="lint", category="wall-clock-time", severity="error",
+                message="src/repro/x.py:3: wall-clock call time.time()")
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFindingId:
+    def test_deterministic(self):
+        assert _finding().fid == _finding().fid
+        assert len(_finding().fid) == 12
+        int(_finding().fid, 16)  # hex
+
+    def test_identity_fields_change_id(self):
+        assert _finding().fid != _finding(category="other").fid
+        assert _finding().fid != _finding(message="different").fid
+        assert _finding().fid != _finding(rank=3).fid
+
+    def test_details_do_not_change_id(self):
+        assert _finding().fid == _finding(details={"extra": 1}).fid
+        assert finding_id(_finding()) == _finding().fid
+
+
+class TestBaseline:
+    def test_load_and_partition(self, tmp_path):
+        f1, f2 = _finding(), _finding(message="other issue")
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "suppress": [{"id": f1.fid, "reason": "known quirk"}],
+        }))
+        baseline = Baseline.load(path)
+        active, quiet = baseline.partition([f1, f2])
+        assert active == [f2]
+        assert quiet == [f1]
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "suppress": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_shipped_baseline_is_empty(self):
+        from pathlib import Path
+        repo = Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(repo / "analysis-baseline.json")
+        assert baseline.suppress == {}
+
+
+class TestCliBaseline:
+    def test_suppressed_findings_do_not_fail(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.analysis.static import lint as lint_mod
+
+        bad = "import time\n\ndef f():\n    return time.time()\n"
+        src = tmp_path / "mod.py"
+        src.write_text(bad)
+        findings = lint_mod.lint_paths([src])
+        assert findings
+        monkeypatch.setattr(lint_mod, "_default_paths", lambda: [src])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppress": [{"id": f.fid, "reason": "test"} for f in findings],
+        }))
+        assert main(["--lint"]) == 2
+        capsys.readouterr()
+        assert main(["--lint", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "SUPPRESSED" in out
+
+    def test_json_format_carries_ids_and_exit(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.analysis.static import lint as lint_mod
+
+        src = tmp_path / "mod.py"
+        src.write_text("import time\n\ndef f():\n    return time.time()\n")
+        monkeypatch.setattr(lint_mod, "_default_paths", lambda: [src])
+        code = main(["--lint", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["exit"] == 2
+        assert payload["mode"] == "lint"
+        assert payload["findings"][0]["category"] == "wall-clock-time"
+        assert len(payload["findings"][0]["id"]) == 12

@@ -66,3 +66,41 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main(["--algo", "nope"])
         assert exc.value.code == 2  # argparse usage error
+
+
+class TestVerifyCli:
+    def test_verify_one_schedule_clean(self, capsys):
+        code = main(["--verify", "knem.bcast", "--machine", "zoot",
+                     "--nprocs", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "knem.bcast@zootx4" in out
+        assert "interleavings" in out
+
+    def test_verify_json_carries_receipts(self, capsys):
+        import json as _json
+        code = main(["--verify", "knem.gather", "--machine", "zoot",
+                     "--nprocs", "4", "--format", "json"])
+        payload = _json.loads(capsys.readouterr().out)
+        assert code == 0
+        results = payload["results"]
+        assert results and all(r["clean"] for r in results)
+        assert results[0]["receipts"]["executions"] >= 1
+        assert "interleavings_log10" in results[0]["receipts"]
+
+    def test_verify_unknown_schedule_fails(self, capsys):
+        assert main(["--verify", "knem.nope", "--nprocs", "2"]) == 2
+
+    def test_verify_machine_all_sweeps_and_skips(self, capsys):
+        code = main(["--verify", "smtree.gather", "--machine", "all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SKIP" in out  # dancer x16 oversubscribed
+
+    def test_machine_all_rejected_for_trace_mode(self):
+        with pytest.raises(SystemExit):
+            main(["--algo", "knem_bcast", "--machine", "all"])
+
+    def test_lint_mode_clean_on_shipped_sources(self, capsys):
+        assert main(["--lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
