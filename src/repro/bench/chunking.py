@@ -1,0 +1,187 @@
+"""Pure chunk planning and accounting for the warm-pool sweep executor.
+
+The executor's process shell (fork, queues, liveness polling) lives in
+:mod:`repro.bench.executor`; every scheduling *decision* lives here, in a
+plain object with no processes, clocks, or I/O, so the exactly-once
+delivery invariants are directly checkable by the Hypothesis suite in
+tests/bench/test_chunking.py:
+
+- every cell is executed exactly once (results are first-wins; duplicate
+  reports are rejected),
+- no cell is lost or duplicated when a chunk's worker dies mid-chunk
+  (``fail`` requeues exactly the unrecorded remainder),
+- the merged result set is independent of completion order.
+
+Chunks are sized by a measured per-cell cost estimate: each cell starts
+with a static estimate (the executor seeds message size — simulated event
+counts scale with segment count), and completed cells feed measured wall
+seconds back per *cost class* (the executor keys classes by stack name),
+scaling the estimates of still-queued cells.  Cheap cells therefore batch
+large and expensive cells batch small, and the target chunk cost shrinks
+as the queue drains so the tail stays load-balanced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["Chunk", "ChunkScheduler"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One batch of cell indices handed to a single worker."""
+
+    id: int
+    cells: tuple[int, ...]
+
+
+class ChunkScheduler:
+    """Exactly-once chunked dispatch over ``n`` cells.
+
+    ``costs`` are positive relative cost estimates (one per cell);
+    ``classes`` optionally groups cells whose measured costs should inform
+    each other (default: every cell is its own class).  ``oversubscribe``
+    is the number of chunks each worker should see over a full sweep —
+    larger values give finer load balancing at more queue traffic.
+    """
+
+    #: EWMA weight of a new cost measurement against the running ratio.
+    MEASURE_ALPHA = 0.5
+    #: hard cap on cells per chunk (keeps worker-death blast radius small)
+    MAX_CHUNK = 64
+
+    def __init__(self, costs: Sequence[float], workers: int,
+                 classes: Optional[Sequence[Hashable]] = None,
+                 oversubscribe: int = 4):
+        if workers < 1:
+            raise BenchmarkError(f"chunk scheduler needs >= 1 worker, got {workers}")
+        if oversubscribe < 1:
+            raise BenchmarkError(
+                f"oversubscribe must be >= 1, got {oversubscribe}")
+        n = len(costs)
+        if classes is None:
+            classes = list(range(n))
+        elif len(classes) != n:
+            raise BenchmarkError("one cost class required per cell")
+        self._base = [max(float(c), 1e-9) for c in costs]
+        self._classes = list(classes)
+        self._workers = workers
+        self._oversubscribe = oversubscribe
+        #: measured-over-estimated cost ratio per class (EWMA)
+        self._ratio: dict[Hashable, float] = {}
+        self._queued: deque[int] = deque(range(n))
+        self._outstanding: dict[int, tuple[int, ...]] = {}
+        self._results: dict[int, Any] = {}
+        self._next_chunk_id = 0
+        #: lifetime diagnostics
+        self.chunks_issued = 0
+        self.chunks_failed = 0
+        self.cells_requeued = 0
+        self.duplicates_dropped = 0
+
+    # -- state ------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self._base)
+
+    @property
+    def finished(self) -> bool:
+        """True once every cell has a recorded result."""
+        return len(self._results) == len(self._base)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight (≠ finished: a failed
+        sweep can drain with cells unrecorded)."""
+        return not self._queued and not self._outstanding
+
+    def results(self) -> dict[int, Any]:
+        """Recorded results by cell index (a copy)."""
+        return dict(self._results)
+
+    def _estimate(self, cell: int) -> float:
+        return self._base[cell] * self._ratio.get(self._classes[cell], 1.0)
+
+    # -- dispatch ---------------------------------------------------------
+    def next_chunk(self) -> Optional[Chunk]:
+        """Carve the next batch off the queue (None when it is empty).
+
+        The target chunk cost is the remaining queued cost split across
+        ``workers * oversubscribe`` hand-outs, so chunks shrink toward the
+        tail; at least one cell is always taken.
+        """
+        queued = self._queued
+        if not queued:
+            return None
+        remaining = sum(self._estimate(c) for c in queued)
+        target = remaining / (self._workers * self._oversubscribe)
+        cells = [queued.popleft()]
+        cost = self._estimate(cells[0])
+        while queued and len(cells) < self.MAX_CHUNK:
+            nxt = self._estimate(queued[0])
+            if cost + nxt > target:
+                break
+            cells.append(queued.popleft())
+            cost += nxt
+        chunk = Chunk(self._next_chunk_id, tuple(cells))
+        self._next_chunk_id += 1
+        self._outstanding[chunk.id] = chunk.cells
+        self.chunks_issued += 1
+        return chunk
+
+    # -- results ----------------------------------------------------------
+    def record(self, cell: int, value: Any) -> bool:
+        """Record one cell result; False (dropped) if it already has one.
+
+        First-wins: a cell requeued after a worker death may be reported
+        both by the replacement worker and by a late message the dead
+        worker flushed before dying — only the first report lands, so the
+        caller journals each cell exactly once.
+        """
+        if not 0 <= cell < len(self._base):
+            raise BenchmarkError(f"unknown cell index {cell}")
+        if cell in self._results:
+            self.duplicates_dropped += 1
+            return False
+        self._results[cell] = value
+        return True
+
+    def observe(self, cell: int, measured: float) -> None:
+        """Feed one measured wall cost back into the cell's cost class."""
+        if measured <= 0:
+            return
+        klass = self._classes[cell]
+        ratio = measured / self._base[cell]
+        prior = self._ratio.get(klass)
+        self._ratio[klass] = ratio if prior is None else (
+            prior + self.MEASURE_ALPHA * (ratio - prior))
+
+    # -- chunk lifecycle --------------------------------------------------
+    def complete(self, chunk_id: int) -> tuple[int, ...]:
+        """Close a chunk whose worker reported it done.
+
+        Any cells the worker never reported (a lost message is a protocol
+        bug, but exactly-once must not hinge on its absence) are requeued
+        and returned.
+        """
+        return self._close(chunk_id, failed=False)
+
+    def fail(self, chunk_id: int) -> tuple[int, ...]:
+        """Close a chunk whose worker died; requeue the unrecorded rest."""
+        self.chunks_failed += 1
+        return self._close(chunk_id, failed=True)
+
+    def _close(self, chunk_id: int, failed: bool) -> tuple[int, ...]:
+        cells = self._outstanding.pop(chunk_id, None)
+        if cells is None:
+            raise BenchmarkError(f"chunk {chunk_id} is not outstanding")
+        lost = tuple(c for c in cells if c not in self._results)
+        for c in lost:
+            self._queued.append(c)
+        self.cells_requeued += len(lost)
+        return lost

@@ -81,6 +81,11 @@ class SweepStats:
     process_resumes: int = 0
     peak_heap: int = 0
     wall_seconds: float = 0.0
+    #: warm-pool diagnostics (zero for serial sweeps): worker count, chunks
+    #: issued, and cells re-run after a worker death
+    pool_workers: int = 0
+    pool_chunks: int = 0
+    pool_requeued: int = 0
 
     def add_cell(self, stats: Optional[CellStats]) -> None:
         self.cells_run += 1
@@ -99,7 +104,7 @@ class SweepStats:
         return self.sim_events / self.wall_seconds
 
     def render(self) -> str:
-        return (
+        base = (
             f"cells: {self.cells_run} run, {self.cells_resumed} resumed | "
             f"sim events: {self.sim_events} | "
             f"process resumes: {self.process_resumes} | "
@@ -107,6 +112,12 @@ class SweepStats:
             f"wall: {self.wall_seconds:.3f}s | "
             f"events/sec: {self.events_per_sec:,.0f}"
         )
+        if self.pool_workers:
+            base += (f" | pool: {self.pool_workers} workers, "
+                     f"{self.pool_chunks} chunks")
+            if self.pool_requeued:
+                base += f", {self.pool_requeued} requeued"
+        return base
 
 
 @dataclass
@@ -377,13 +388,17 @@ def run_sweep(
         if parallel != 1 and pending:
             from repro.bench.executor import run_cells
 
+            pool_report: dict = {}
             for key, t, cell_stats in run_cells(
                     machine, operation, nprocs, settings, pending,
-                    jobs=parallel):
+                    jobs=parallel, report=pool_report):
                 cells[key] = t
                 stats.add_cell(cell_stats)
                 if journal is not None:
                     _journal_append(journal, key, t)
+            stats.pool_workers = pool_report.get("workers", 0)
+            stats.pool_chunks = pool_report.get("chunks", 0)
+            stats.pool_requeued = pool_report.get("cells_requeued", 0)
         else:
             for stack, size in pending:
                 t = imb_time(machine, stack, nprocs, operation, size, settings)

@@ -25,6 +25,9 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro import vector as _vector
 from repro.errors import SimulationError
 from repro.simtime.core import Event, Simulator
 
@@ -41,6 +44,22 @@ _EPS_RATE = 1e-3
 def _flow_id(f: "Flow") -> int:
     """Sort key for deterministic flow iteration (creation order)."""
     return f.id
+
+
+def _row_sum(rows: "np.ndarray") -> "np.ndarray":
+    """Column sums by strictly sequential row accumulation.
+
+    ``np.add.reduce(rows, axis=0)`` is row-sequential only while the
+    reduction axis is strided; with a single column the data is contiguous
+    and numpy switches to pairwise summation, which rounds differently from
+    the scalar path's one-by-one adds.  The explicit loop pins the
+    association order for every shape, which the bitwise scalar/vector
+    equivalence contract requires.
+    """
+    out = np.zeros(rows.shape[1])
+    for row in rows:
+        out += row
+    return out
 
 
 class Resource:
@@ -131,10 +150,27 @@ class Flow:
 
 
 class FlowNetwork:
-    """Tracks active flows, assigns fair rates, fires completion events."""
+    """Tracks active flows, assigns fair rates, fires completion events.
 
-    def __init__(self, sim: Simulator):
+    ``vectorized`` selects the numpy waterfilling path (``None`` = the
+    process-wide ``REPRO_VECTOR`` default).  The scalar path remains the
+    oracle: both produce **bitwise-identical** rates, byte accounts, and
+    wake horizons — every elementwise numpy operation used (multiply,
+    subtract, divide, first-occurrence argmin, row-order ``add.reduce``)
+    is IEEE-equal to its Python-scalar counterpart, and every float
+    accumulation walks flows in creation-id order in both paths.  The
+    differential battery in tests/hardware/test_vector_flows.py locks
+    this; ``vector_min_flows`` gates the numpy path to rebalances large
+    enough to amortize array construction (safe to flip mid-run precisely
+    because the paths are indistinguishable).
+    """
+
+    def __init__(self, sim: Simulator, vectorized: Optional[bool] = None):
         self.sim = sim
+        self.vectorized = _vector.enabled() if vectorized is None else vectorized
+        #: smallest active-flow count routed to the numpy waterfilling
+        #: (below it the scalar path is faster; tests set 0 to force numpy)
+        self.vector_min_flows = 8
         self._active: set[Flow] = set()
         self._last_update = 0.0
         self._wake_generation = 0
@@ -142,6 +178,10 @@ class FlowNetwork:
         #: lifetime statistics
         self.completed_flows = 0
         self.completed_bytes = 0.0
+        #: rate assignments executed by each implementation (diagnostics;
+        #: the differential tests assert the intended path actually ran)
+        self.scalar_assignments = 0
+        self.vector_assignments = 0
 
     # -- public API ---------------------------------------------------------
     def transfer(
@@ -207,7 +247,26 @@ class FlowNetwork:
         self._last_update = now
         if dt <= 0:
             return
-        for flow in self._active:
+        active = self._active
+        if self.vectorized and len(active) >= self.vector_min_flows:
+            # Per-flow byte accounts are independent elementwise IEEE ops,
+            # bitwise-equal to the scalar loop (zero-rate flows subtract an
+            # exact 0.0).  Only ``completed_bytes`` — a tolerance-compared
+            # lifetime stat whose scalar accumulation order is already
+            # address-dependent — is summed in id order instead.
+            ordered = sorted(active, key=_flow_id)
+            count = len(ordered)
+            moved = np.fromiter((f.remaining for f in ordered), np.float64,
+                                count=count)
+            rates = np.fromiter((f.rate for f in ordered), np.float64,
+                                count=count)
+            rates *= dt  # now the per-flow bytes moved
+            moved -= rates  # now the new per-flow remaining bytes
+            for flow, rem in zip(ordered, moved.tolist()):
+                flow.remaining = rem
+            self.completed_bytes += float(np.add.reduce(rates))
+            return
+        for flow in active:
             if flow.rate > 0:
                 moved = flow.rate * dt
                 flow.remaining -= moved
@@ -221,7 +280,12 @@ class FlowNetwork:
             (f for f in self._active if f.remaining <= _EPS_BYTES), key=_flow_id)
         for flow in finished:
             self._retire(flow)
-        self._assign_rates(self._active)
+        if self.vectorized and len(self._active) >= self.vector_min_flows:
+            self.vector_assignments += 1
+            self._assign_rates_vec(sorted(self._active, key=_flow_id))
+        else:
+            self.scalar_assignments += 1
+            self._assign_rates(self._active)
         for flow in finished:
             flow.remaining = 0.0
             flow.event.succeed(None)
@@ -324,13 +388,135 @@ class FlowNetwork:
         for f in unfrozen:  # pragma: no cover - loop always drains
             f.rate = rate
 
+    def _assign_rates_vec(self, ordered: list[Flow]) -> None:
+        """Numpy waterfilling, bitwise-identical to :meth:`_assign_rates`.
+
+        Equality holds operation by operation, not approximately:
+
+        - column sums accumulate rows sequentially (:func:`_row_sum`), so
+          the weight/stream totals reproduce the scalar loop's id-ordered
+          accumulation (absent flows contribute an exact ``+0.0``);
+        - elementwise multiply/subtract/divide are the same correctly-rounded
+          IEEE operations the scalar path applies per resource;
+        - ``np.argmin`` returns the *first* minimum, matching the scalar
+          running strict-``<`` scan over first-seen resource order;
+        - freezes subtract whole weight rows in flow-id order, mirroring the
+          scalar per-resource ``wsum`` decrements (``x - 0.0 == x``).
+
+        Every scalar crossing back into simulator state (``f.rate``,
+        comparisons against python floats) is converted with ``float()`` so
+        no ``np.float64`` leaks into the event queue or the JSONL journal.
+        """
+        n = len(ordered)
+        if n == 0:
+            return
+        # First-seen resource order over id-ordered flows: the exact
+        # insertion order of the scalar path's bookkeeping dicts.
+        res_index: dict[Resource, int] = {}
+        for f in ordered:
+            for r in f.weights:
+                if r not in res_index:
+                    res_index[r] = len(res_index)
+        res_list = list(res_index)
+        n_res = len(res_list)
+        weight_rows = np.zeros((n, n_res))
+        stream_rows = np.zeros((n, n_res))
+        for i, f in enumerate(ordered):
+            f.rate = 0.0
+            row_w = weight_rows[i]
+            row_s = stream_rows[i]
+            for r, w in f.weights.items():
+                j = res_index[r]
+                row_w[j] = w
+                row_s[j] = f.streams_on(r)
+        wsum = _row_sum(weight_rows)
+        residual = np.fromiter(
+            (r.effective_capacity(int(round(s)))
+             for r, s in zip(res_list, _row_sum(stream_rows).tolist())),
+            np.float64, count=n_res)
+        sat_thresh = np.fromiter(
+            (_EPS_RATE * max(1.0, r.capacity / 1e9) for r in res_list),
+            np.float64, count=n_res)
+
+        demands = [f.demand for f in ordered]
+        # Stable argsort ties break by index (= creation id), matching the
+        # scalar stable sort over the id-ordered list.
+        by_demand = np.argsort(np.asarray(demands), kind="stable").tolist()
+        unfrozen = np.ones(n, dtype=bool)
+        n_unfrozen = n
+        demand_ptr = 0
+        rate = 0.0
+        inf = float("inf")
+        while n_unfrozen:
+            while demand_ptr < n and not unfrozen[by_demand[demand_ptr]]:
+                demand_ptr += 1
+            inc = demands[by_demand[demand_ptr]] - rate if demand_ptr < n else inf
+            bottleneck = -1
+            live = wsum > 1e-12
+            if live.any():
+                r_inc = (np.where(live, residual, inf)
+                         / np.where(live, wsum, 1.0))
+                j = int(np.argmin(r_inc))
+                j_inc = float(r_inc[j])
+                if j_inc < inc:
+                    inc = j_inc
+                    bottleneck = j
+            if inc < 0:
+                inc = 0.0
+            rate += inc
+            residual -= inc * wsum
+            frozen = np.zeros(n, dtype=bool)
+            # Demand-capped flows: ascending sweep from the pointer.
+            while demand_ptr < n:
+                i = by_demand[demand_ptr]
+                if not unfrozen[i]:
+                    demand_ptr += 1
+                    continue
+                if demands[i] - rate > _EPS_RATE:
+                    break
+                frozen[i] = True
+                demand_ptr += 1
+            # Unfrozen members of saturated resources.  ``live`` predates
+            # the residual update but ``wsum`` has not changed since.
+            sat = live & (residual <= sat_thresh)
+            if sat.any():
+                frozen |= unfrozen & (weight_rows[:, sat] != 0.0).any(axis=1)
+            if not frozen.any():
+                if bottleneck < 0:
+                    break  # all demand-capped; loop would have frozen them
+                frozen = unfrozen & (weight_rows[:, bottleneck] != 0.0)
+            # Freeze in id order; whole-row wsum decrements reproduce the
+            # scalar per-resource subtractions bit for bit.
+            frozen_idx = np.nonzero(frozen)[0].tolist()
+            for i in frozen_idx:
+                ordered[i].rate = rate
+                wsum -= weight_rows[i]
+            unfrozen &= ~frozen
+            n_unfrozen -= len(frozen_idx)
+        if n_unfrozen:  # pragma: no cover - loop always drains
+            for i in np.nonzero(unfrozen)[0].tolist():
+                ordered[i].rate = rate
+
     def _schedule_wake(self) -> None:
         self._wake_generation += 1
         if not self._active:
             return
-        horizon = min(
-            (f.remaining / f.rate for f in self._active if f.rate > 0), default=None
-        )
+        if self.vectorized and len(self._active) >= self.vector_min_flows:
+            count = len(self._active)
+            rems = np.fromiter((f.remaining for f in self._active), np.float64,
+                               count=count)
+            rates = np.fromiter((f.rate for f in self._active), np.float64,
+                                count=count)
+            pos = rates > 0.0
+            # Elementwise division + min: same value the scalar generator
+            # finds (min is order-independent over exact quotients).
+            horizon = (float(np.min(rems[pos] / rates[pos]))
+                       if pos.any() else None)
+        else:
+            horizon = min(
+                (f.remaining / f.rate for f in self._active if f.rate > 0),
+                default=None,
+            )
         if horizon is None:
             raise SimulationError(
                 "flow network stalled: active flows but no positive rates"

@@ -39,6 +39,7 @@ __all__ = [
     "smp_machine",
     "numa_machine",
     "get_machine",
+    "warm_caches",
     "MACHINES",
 ]
 
@@ -260,4 +261,30 @@ def get_machine(name: str) -> MachineSpec:
             raise HardwareConfigError(
                 f"unknown machine {name!r}; available: {sorted(MACHINES)}"
             ) from None
+    return spec
+
+
+def warm_caches(spec_or_name) -> MachineSpec:
+    """Populate every per-spec memo a machine build consults.
+
+    The named-spec cache, topology tree, distance matrix, and shortest-path
+    route tables are all pure functions of the frozen spec and memoized at
+    module level.  The warm-pool sweep executor calls this in the *parent*
+    before forking its workers, so every worker inherits populated caches
+    instead of paying the O(n_cores²) construction per process — the
+    amortize-the-setup move the paper itself makes for collectives.
+
+    Accepts a machine name or a :class:`~repro.hardware.spec.MachineSpec`;
+    returns the (cached) spec.  Imports are deferred: the topology and
+    memory layers import this module.
+    """
+    from repro.hardware.memory import _route_tables
+    from repro.topology.distance import DistanceMatrix
+    from repro.topology.objects import Topology
+
+    spec = get_machine(spec_or_name) if isinstance(spec_or_name, str) \
+        else spec_or_name
+    Topology.for_spec(spec)
+    DistanceMatrix.for_spec(spec)
+    _route_tables(spec)
     return spec

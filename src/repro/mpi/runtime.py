@@ -52,11 +52,15 @@ class Machine:
     """A fully assembled simulated machine (hardware + kernel services)."""
 
     def __init__(self, spec: MachineSpec, costs: Optional[KernelCosts] = None,
-                 trace: bool = False):
+                 trace: bool = False, vector: Optional[bool] = None):
         self.spec = spec
-        self.sim = Simulator()
+        # ``vector=None`` defers to the process-wide REPRO_VECTOR flag for
+        # both fast paths (event-cohort dispatch + numpy flow updates); an
+        # explicit bool pins this machine for differential tests.
+        self.sim = Simulator(cohort=vector)
         self.tracer = Tracer(clock=lambda: self.sim.now, enabled=trace)
-        self.mem = MemorySystem(self.sim, spec, tracer=self.tracer)
+        self.mem = MemorySystem(self.sim, spec, tracer=self.tracer,
+                                vectorized=vector)
         self.costs = costs or KernelCosts()
         self.shm = ShmWorld(self.sim, spec, self.mem, costs=self.costs)
         self.knem = KnemDriver(self.sim, self.mem, costs=self.costs,
@@ -74,11 +78,12 @@ class Machine:
 
     @classmethod
     def build(cls, spec_or_name: Union[str, MachineSpec],
-              costs: Optional[KernelCosts] = None, trace: bool = False) -> "Machine":
+              costs: Optional[KernelCosts] = None, trace: bool = False,
+              vector: Optional[bool] = None) -> "Machine":
         """Build from a paper machine name (``"ig"``) or a custom spec."""
         spec = (get_machine(spec_or_name)
                 if isinstance(spec_or_name, str) else spec_or_name)
-        return cls(spec, costs=costs, trace=trace)
+        return cls(spec, costs=costs, trace=trace, vector=vector)
 
     @property
     def now(self) -> float:

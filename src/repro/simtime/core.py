@@ -16,8 +16,10 @@ Semantics follow the classic discrete-event pattern:
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
+from repro import vector as _vector
 from repro.errors import DeadlockError, SimulationError
 
 __all__ = ["PENDING", "Event", "Timeout", "Simulator"]
@@ -132,7 +134,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds ``delay`` seconds after creation."""
+    """An event that succeeds ``delay`` seconds after creation.
+
+    The constructor is the hottest allocation site of a sweep (every
+    simulated delay is one Timeout), so it inlines ``Event.__init__`` and
+    ``Simulator._enqueue`` and skips the old eager ``timeout(<delay>)``
+    name formatting — diagnostics fall back to the class name instead.
+    """
 
     __slots__ = ("delay",)
 
@@ -140,11 +148,26 @@ class Timeout(Event):
                  name: str = ""):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay})")
-        self.delay = delay
+        # Inlined Event.__init__: a Timeout is born triggered-successful.
+        # ``_scheduled``/``_defused``/``_abandoned`` stay deliberately
+        # unset: a Timeout cannot re-enter ``_enqueue`` (succeed/fail raise
+        # "already triggered" first), ``_defused`` is only read behind an
+        # ``_ok is False`` guard, and ``_abandoned`` is only read on the
+        # waiter events the primitives create themselves.  Writes to the
+        # unset slots (kill/throw defusal) still work; a read would raise
+        # loudly instead of masking a broken assumption.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
         self._ok = True
-        sim._enqueue(self, delay)
+        self.name = name
+        self.delay = delay
+        # Inlined _enqueue (a fresh Timeout can never be double-scheduled).
+        sim._seq += 1
+        heap = sim._heap
+        heappush(heap, (sim.now + delay, sim._seq, self))
+        if len(heap) > sim.peak_heap:
+            sim.peak_heap = len(heap)
 
 
 class Simulator:
@@ -161,7 +184,7 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cohort: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
@@ -173,6 +196,15 @@ class Simulator:
         self.process_resumes = 0
         #: high-water mark of the event queue
         self.peak_heap = 0
+        #: cohort dispatch: drain every event ready at the same instant as
+        #: one batch (the vectorized fast path; ``None`` = REPRO_VECTOR
+        #: default).  Dispatch order, counters, and failure surfacing are
+        #: identical to the scalar loop — see TestCohortDispatch.
+        self.cohort = _vector.enabled() if cohort is None else cohort
+        #: cohort batches dispatched and the largest batch seen (cohort
+        #: mode only; the scalar loop leaves them at zero)
+        self.cohorts_dispatched = 0
+        self.max_cohort = 0
 
     # -- queue plumbing ---------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
@@ -251,22 +283,26 @@ class Simulator:
         # (enqueue can only schedule at >= now, so the heap cannot go
         # backwards) or attribute re-lookups.  This is where whole sweeps
         # spend their time; see benchmarks/bench_simcore.py.
-        heap = self._heap
-        pop = heapq.heappop
-        dispatched = 0
-        try:
-            while heap:
-                t, _seq, event = pop(heap)
-                dispatched += 1
-                self.now = t
-                callbacks, event.callbacks = event.callbacks, None
-                for cb in callbacks:
-                    cb(event)
-                if event._ok is False and not event._defused:
-                    # A failure nobody waited on: surface it, don't lose it.
-                    raise event._value
-        finally:
-            self.events_processed += dispatched
+        if self.cohort:
+            self._run_cohort()
+        else:
+            heap = self._heap
+            pop = heapq.heappop
+            dispatched = 0
+            try:
+                while heap:
+                    t, _seq, event = pop(heap)
+                    dispatched += 1
+                    self.now = t
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        # A failure nobody waited on: surface it, don't
+                        # lose it.
+                        raise event._value
+            finally:
+                self.events_processed += dispatched
         blocked_procs = sorted(
             (p for p in self._live_processes.values() if not p.daemon),
             key=lambda p: p.name,
@@ -290,6 +326,75 @@ class Simulator:
                 waiting=waiting,
                 pending_events=len(pending_ids),
             )
+
+    def _run_cohort(self) -> None:
+        """Drain-to-empty loop that dispatches same-instant event cohorts.
+
+        All events already queued at the popped timestamp are drained into
+        one batch before any callback runs.  A callback that enqueues a new
+        same-instant event gives it a higher sequence number, so it lands in
+        a *later* cohort at the same time — exactly where the scalar heap
+        loop would dispatch it.  Dispatch order is therefore identical to
+        the scalar path; only the heap traffic is batched.  Homogeneous
+        cohorts are what the vectorized flow network feeds on: every flow
+        completion of one rebalance surfaces in a single batch here.
+        """
+        heap = self._heap
+        pop = heappop
+        dispatched = 0
+        cohorts = 0
+        widest = self.max_cohort
+        try:
+            while heap:
+                entry = pop(heap)
+                t = entry[0]
+                self.now = t
+                if not heap or heap[0][0] != t:
+                    # Singleton cohort: dispatch inline, no batch list.
+                    event = entry[2]
+                    dispatched += 1
+                    cohorts += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    continue
+                cohort = [entry]
+                append = cohort.append
+                while heap and heap[0][0] == t:
+                    append(pop(heap))
+                n = len(cohort)
+                cohorts += 1
+                if n > widest:
+                    widest = n
+                try:
+                    for entry in cohort:
+                        event = entry[2]
+                        callbacks, event.callbacks = event.callbacks, None
+                        for cb in callbacks:
+                            cb(event)
+                        if event._ok is False and not event._defused:
+                            # A failure nobody waited on: surface it,
+                            # don't lose it.
+                            raise event._value
+                except BaseException:
+                    # Undispatched cohort members (their callbacks were
+                    # not yet swapped out) go back on the heap so a
+                    # surfaced failure leaves the same queue state the
+                    # scalar loop would (sequence numbers preserved).
+                    survivors = [e for e in cohort if e[2].callbacks is not None]
+                    for entry in survivors:
+                        heappush(heap, entry)
+                    dispatched += n - len(survivors)
+                    raise
+                dispatched += n
+        finally:
+            self.events_processed += dispatched
+            self.cohorts_dispatched += cohorts
+            if cohorts and not widest:
+                widest = 1  # only singleton cohorts ran
+            self.max_cohort = widest
 
     @property
     def queue_size(self) -> int:

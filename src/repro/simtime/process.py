@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.simtime.core import Event, Simulator
+from repro.simtime.core import PENDING, Event, Simulator
 
 __all__ = ["Process", "AllOf", "AnyOf"]
 
@@ -23,8 +23,8 @@ __all__ = ["Process", "AllOf", "AnyOf"]
 class Process(Event):
     """A coroutine scheduled by the simulator; also an awaitable event."""
 
-    __slots__ = ("_gen", "_waiting_on", "daemon", "owner", "_death_callbacks",
-                 "_resume_cb")
+    __slots__ = ("_gen", "_send", "_throw", "_waiting_on", "daemon", "owner",
+                 "_death_callbacks", "_resume_cb")
 
     _ids = 0
 
@@ -38,6 +38,10 @@ class Process(Event):
         Process._ids += 1
         super().__init__(sim, name=name or f"process-{Process._ids}")
         self._gen = gen
+        # Pre-bound generator entry points: one resume per event dispatched
+        # makes the attribute lookup + method bind measurable at sweep scale.
+        self._send = gen.send
+        self._throw = gen.throw
         self.daemon = daemon
         self.owner = owner
         self._waiting_on: Event | None = None
@@ -65,7 +69,11 @@ class Process(Event):
         return self._waiting_on
 
     def _resume(self, event: Event, forced: bool = False) -> None:
-        if self.triggered or (not forced and self._waiting_on is not event):
+        # Direct slot reads (not the triggered/value properties): this is
+        # the hottest dispatch path of a sweep, entered once per generator
+        # resumption.
+        if self._value is not PENDING or \
+                (not forced and self._waiting_on is not event):
             # Stale wakeup: the process was killed, or forcibly resumed
             # (interrupt/throw) while this event was still in flight.  Its
             # failure, if any, was aimed at a generator frame that no longer
@@ -81,13 +89,15 @@ class Process(Event):
             # it instead of granting a token nobody will ever use.
             stale._abandoned = True
         self._waiting_on = None
-        self.sim.process_resumes += 1
+        sim = self.sim
+        sim.process_resumes += 1
         try:
             if event._ok is False:
                 event._defused = True
-                target = self._gen.throw(event.value)
+                target = self._throw(event._value)
             else:
-                target = self._gen.send(event.value if event is not self else None)
+                target = self._send(
+                    event._value if event is not self else None)
         except StopIteration as stop:
             self._finish_ok(stop.value)
             return
@@ -102,7 +112,7 @@ class Process(Event):
                 )
             )
             return
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             self._finish_fail(
                 SimulationError(
                     f"process {self.name} yielded an event from another simulator")

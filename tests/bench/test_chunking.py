@@ -1,0 +1,236 @@
+"""Exactly-once properties of the warm-pool chunk scheduler (hypothesis).
+
+The executor's process shell is exercised end-to-end by
+tests/bench/test_executor.py; this suite drives the pure
+:class:`~repro.bench.chunking.ChunkScheduler` through randomized worker
+interleavings — chunks completing out of order, workers dying mid-chunk,
+dead workers flushing late duplicate results — and checks the invariants
+the sweep's byte-identical output hinges on:
+
+- every cell ends up with exactly one recorded result,
+- the merged result set is independent of completion order,
+- a worker death loses nothing and duplicates nothing (``fail`` requeues
+  exactly the unrecorded remainder, first-wins drops late flushes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.chunking import ChunkScheduler
+from repro.errors import BenchmarkError
+
+#: pure per-cell result value — records are order-independent iff the
+#: merged map equals {cell: value(cell)} no matter which attempt landed.
+def value(cell: int) -> str:
+    return f"cell-{cell}"
+
+
+costs_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=48)
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def drive(sched: ChunkScheduler, rng, *, die_p: float = 0.0,
+          late_flush_p: float = 0.0, workers: int = 1) -> dict[int, int]:
+    """Simulate the executor's dispatch loop; returns per-cell yield counts.
+
+    Mirrors run_cells: up to ``workers`` chunks in flight, each step picks a
+    random outstanding chunk and either completes it (recording every cell)
+    or kills its worker after a random prefix (recording only that prefix,
+    then ``fail``).  With ``late_flush_p``, a killed worker's unrecorded
+    cells are re-reported later as the late duplicates a real dead worker
+    can flush into the result queue.
+    """
+    in_flight: list = []
+    late: list[int] = []
+    yielded: dict[int, int] = {}
+
+    def record(cell: int) -> None:
+        if sched.record(cell, value(cell)):
+            yielded[cell] = yielded.get(cell, 0) + 1
+            sched.observe(cell, rng.random() * 10.0)
+
+    while not sched.finished:
+        while len(in_flight) < workers:
+            chunk = sched.next_chunk()
+            if chunk is None:
+                break
+            in_flight.append(chunk)
+        # The scheduler must never strand cells: unfinished implies work
+        # is queued or outstanding (the executor's stall check relies on
+        # the contrapositive).
+        assert in_flight, "scheduler stalled with cells unrecorded"
+        chunk = in_flight.pop(rng.randrange(len(in_flight)))
+        if rng.random() < die_p:
+            k = rng.randrange(len(chunk.cells) + 1)
+            for cell in chunk.cells[:k]:
+                record(cell)
+            # The requeued remainder is exactly the unrecorded tail (a
+            # late flush may already have recorded some of these cells
+            # from an earlier incarnation of the same work).
+            expect_lost = set(chunk.cells[k:]) - set(yielded)
+            lost = sched.fail(chunk.id)
+            assert set(lost) == expect_lost
+            if rng.random() < late_flush_p:
+                late.extend(chunk.cells[k:])
+        else:
+            for cell in chunk.cells:
+                record(cell)
+            sched.complete(chunk.id)
+        if late and rng.random() < 0.5:
+            record(late.pop(rng.randrange(len(late))))
+    for cell in late:  # drain any flushes still pending at the end
+        record(cell)
+    return yielded
+
+
+class TestExactlyOnce:
+    @given(costs=costs_lists, workers=st.integers(1, 6), seed=seeds)
+    @settings(max_examples=60)
+    def test_every_cell_yields_exactly_once_without_failures(
+            self, costs, workers, seed):
+        sched = ChunkScheduler(costs, workers=workers)
+        yielded = drive(sched, random.Random(seed), workers=workers)
+        assert yielded == {c: 1 for c in range(len(costs))}
+        assert sched.results() == {c: value(c) for c in range(len(costs))}
+        assert sched.chunks_failed == 0
+        assert sched.duplicates_dropped == 0
+
+    @given(costs=costs_lists, workers=st.integers(1, 6), seed=seeds)
+    @settings(max_examples=60)
+    def test_worker_deaths_lose_and_duplicate_nothing(
+            self, costs, workers, seed):
+        sched = ChunkScheduler(costs, workers=workers)
+        yielded = drive(sched, random.Random(seed), die_p=0.4,
+                        late_flush_p=0.6, workers=workers)
+        # Exactly once out, first-wins in: requeued cells re-ran, late
+        # flushes from the dead worker were dropped, nothing was lost.
+        assert yielded == {c: 1 for c in range(len(costs))}
+        assert sched.results() == {c: value(c) for c in range(len(costs))}
+
+    @given(costs=costs_lists, workers=st.integers(1, 6),
+           seed_a=seeds, seed_b=seeds)
+    @settings(max_examples=40)
+    def test_merged_results_are_completion_order_independent(
+            self, costs, workers, seed_a, seed_b):
+        merged = []
+        for seed in (seed_a, seed_b):
+            sched = ChunkScheduler(costs, workers=workers)
+            drive(sched, random.Random(seed), die_p=0.3, late_flush_p=0.5,
+                  workers=workers)
+            merged.append(sched.results())
+        assert merged[0] == merged[1]
+
+
+class TestChunkCarving:
+    @given(costs=costs_lists, workers=st.integers(1, 6),
+           oversubscribe=st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_chunks_partition_the_cells(self, costs, workers, oversubscribe):
+        sched = ChunkScheduler(costs, workers=workers,
+                               oversubscribe=oversubscribe)
+        seen: list[int] = []
+        while True:
+            chunk = sched.next_chunk()
+            if chunk is None:
+                break
+            assert 1 <= len(chunk.cells) <= ChunkScheduler.MAX_CHUNK
+            seen.extend(chunk.cells)
+        assert sorted(seen) == list(range(len(costs)))
+        assert len(set(seen)) == len(seen)
+
+    @given(costs=costs_lists, seed=seeds)
+    @settings(max_examples=40)
+    def test_observe_reshapes_chunks_but_not_coverage(self, costs, seed):
+        # Wildly wrong cost feedback may change chunk shapes, never the
+        # exactly-once outcome.
+        classes = ["even" if i % 2 == 0 else "odd" for i in range(len(costs))]
+        sched = ChunkScheduler(costs, workers=2, classes=classes)
+        yielded = drive(sched, random.Random(seed), die_p=0.2, workers=2)
+        assert yielded == {c: 1 for c in range(len(costs))}
+
+    def test_tail_chunks_shrink(self):
+        # Equal-cost cells with oversubscribe=2 on one worker: the first
+        # chunk takes half the queue, later chunks take half the rest.
+        sched = ChunkScheduler([1.0] * 16, workers=1, oversubscribe=2)
+        sizes = []
+        while True:
+            chunk = sched.next_chunk()
+            if chunk is None:
+                break
+            sizes.append(len(chunk.cells))
+        assert sizes[0] == 8
+        assert sizes[0] >= sizes[-1]
+        assert sum(sizes) == 16
+
+
+class TestApiContract:
+    def test_record_is_first_wins(self):
+        sched = ChunkScheduler([1.0, 1.0], workers=1)
+        chunk = sched.next_chunk()
+        assert sched.record(chunk.cells[0], "a") is True
+        assert sched.record(chunk.cells[0], "b") is False
+        assert sched.results()[chunk.cells[0]] == "a"
+        assert sched.duplicates_dropped == 1
+
+    def test_record_unknown_cell_raises(self):
+        sched = ChunkScheduler([1.0], workers=1)
+        with pytest.raises(BenchmarkError):
+            sched.record(5, "x")
+        with pytest.raises(BenchmarkError):
+            sched.record(-1, "x")
+
+    def test_fail_requeues_only_unrecorded_cells(self):
+        sched = ChunkScheduler([1.0] * 4, workers=1, oversubscribe=1)
+        chunk = sched.next_chunk()
+        assert chunk.cells == (0, 1, 2, 3)
+        sched.record(0, value(0))
+        sched.record(2, value(2))
+        assert sched.fail(chunk.id) == (1, 3)
+        assert sched.cells_requeued == 2
+        requeued = sched.next_chunk()
+        assert requeued.cells == (1, 3)
+
+    def test_complete_requeues_cells_a_lost_message_left_behind(self):
+        sched = ChunkScheduler([1.0, 1.0], workers=1, oversubscribe=1)
+        chunk = sched.next_chunk()
+        sched.record(0, value(0))
+        assert sched.complete(chunk.id) == (1,)
+        assert not sched.finished
+        assert sched.next_chunk().cells == (1,)
+
+    def test_closing_a_chunk_twice_raises(self):
+        sched = ChunkScheduler([1.0], workers=1)
+        chunk = sched.next_chunk()
+        sched.record(0, value(0))
+        sched.complete(chunk.id)
+        with pytest.raises(BenchmarkError):
+            sched.complete(chunk.id)
+        with pytest.raises(BenchmarkError):
+            sched.fail(chunk.id)
+
+    def test_idle_differs_from_finished_after_drain(self):
+        sched = ChunkScheduler([1.0, 1.0], workers=1, oversubscribe=1)
+        chunk = sched.next_chunk()
+        sched.record(0, value(0))
+        sched.fail(chunk.id)  # cell 1 requeued
+        tail = sched.next_chunk()
+        sched.fail(tail.id)  # requeued again...
+        sched.next_chunk()  # ...and carved again, never recorded
+        assert not sched.idle  # still outstanding
+        assert not sched.finished
+
+    def test_constructor_validation(self):
+        with pytest.raises(BenchmarkError):
+            ChunkScheduler([1.0], workers=0)
+        with pytest.raises(BenchmarkError):
+            ChunkScheduler([1.0], workers=1, oversubscribe=0)
+        with pytest.raises(BenchmarkError):
+            ChunkScheduler([1.0, 2.0], workers=1, classes=["only-one"])

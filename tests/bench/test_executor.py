@@ -18,7 +18,7 @@ import repro.bench.harness as harness
 from repro.bench.executor import resolve_jobs, run_experiments
 from repro.bench.harness import checkpoint_path, run_sweep
 from repro.bench.imb import ImbSettings
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, RankFailed
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.mpi import stacks
 from repro.units import KiB
@@ -47,25 +47,30 @@ def sweep(parallel=1, checkpoint=None, fault_plan=None, experiment="par"):
 
 
 class TestEquivalence:
-    def test_parallel_csv_is_byte_identical_to_serial(self, results_dir):
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_csv_is_byte_identical_to_serial(self, results_dir,
+                                                      jobs):
         serial = sweep(parallel=1).to_csv(str(results_dir / "serial.csv"))
-        par = sweep(parallel=2).to_csv(str(results_dir / "parallel.csv"))
+        par = sweep(parallel=jobs).to_csv(str(results_dir / "parallel.csv"))
         assert open(par, "rb").read() == open(serial, "rb").read()
 
-    def test_parallel_equals_serial_under_fault_plan(self, results_dir):
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_equals_serial_under_fault_plan(self, results_dir,
+                                                     jobs):
         plan = FaultPlan([FaultRule(op="register", probability=0.5)], seed=7)
         serial = sweep(parallel=1, fault_plan=plan).to_csv(
             str(results_dir / "serial.csv"))
-        par = sweep(parallel=2, fault_plan=plan).to_csv(
+        par = sweep(parallel=jobs, fault_plan=plan).to_csv(
             str(results_dir / "parallel.csv"))
         assert open(par, "rb").read() == open(serial, "rb").read()
 
+    @pytest.mark.parametrize("jobs", [2, 4])
     def test_parallel_checkpoint_is_byte_identical_to_serial(
-            self, results_dir):
+            self, results_dir, jobs):
         ser_ckpt = checkpoint_path("ser", "dancer")
         par_ckpt = checkpoint_path("par", "dancer")
         sweep(parallel=1, checkpoint=ser_ckpt, experiment="ser")
-        sweep(parallel=2, checkpoint=par_ckpt, experiment="par")
+        sweep(parallel=jobs, checkpoint=par_ckpt, experiment="par")
         # Cell lines land in completion order; cell *values* must match.
         ser = sorted(open(ser_ckpt).read().splitlines()[1:])
         par = sorted(open(par_ckpt).read().splitlines()[1:])
@@ -93,6 +98,76 @@ class TestEquivalence:
         assert calls == []
         assert [s.times for s in resumed.series] == \
                [s.times for s in second.series]
+
+
+class TestRankFaults:
+    """Rank-level fault rules behave identically serial and parallel."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_rank_stall_sweep_is_byte_identical_to_serial(
+            self, results_dir, jobs):
+        # A stalled rank slows every cell but fails nothing: the full
+        # byte-identity contract must hold on the degraded timings too.
+        plan = FaultPlan(
+            [FaultRule(op="rank.stall", core=2, delay=1e-4)], seed=3)
+        serial = sweep(parallel=1, fault_plan=plan).to_csv(
+            str(results_dir / "serial.csv"))
+        par = sweep(parallel=jobs, fault_plan=plan).to_csv(
+            str(results_dir / "parallel.csv"))
+        assert open(par, "rb").read() == open(serial, "rb").read()
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_rank_crash_raises_the_same_error_at_any_job_count(
+            self, results_dir, jobs):
+        # A crashed rank aborts the sweep; the pool must surface the same
+        # typed error a serial sweep raises (RankFailed pickles intact).
+        plan = FaultPlan.crash(core=2, index=0)
+        with pytest.raises(RankFailed) as err:
+            sweep(parallel=jobs, fault_plan=plan)
+        assert err.value.rank == 2
+        # index=0 kills the victim at its first collective entry: the IMB
+        # loop's sync barrier, not the measured bcast.
+        assert err.value.op == "barrier"
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_rank_crash_journal_resumes_to_serial_bytes(
+            self, results_dir, jobs):
+        # Cells journaled before the crash surfaced are valid: dropping the
+        # crash rule and resuming completes to the no-fault serial bytes.
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("par", "dancer")
+        # Size-windowed: only cells at the top size crash (the barrier and
+        # the small cells pass), so the journal gains valid small cells.
+        plan = FaultPlan(
+            [FaultRule(op="rank.crash", core=2, min_size=SIZES[-1])],
+            seed=11)
+        with pytest.raises(RankFailed):
+            sweep(parallel=jobs, checkpoint=ckpt, fault_plan=plan)
+        resumed = sweep(parallel=jobs, checkpoint=ckpt).to_csv(
+            str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+
+class TestTornTailResume:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_resume_from_torn_journal_tail_is_byte_identical(
+            self, results_dir, jobs):
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("par", "dancer")
+        sweep(parallel=2, checkpoint=ckpt)
+        # Tear the final journal line mid-append, the on-disk signature of
+        # a sweep killed between write and fsync.
+        raw = open(ckpt, "rb").read()
+        assert raw.endswith(b"\n")
+        torn = raw[:-10]
+        with open(ckpt, "wb") as fh:
+            fh.write(torn)
+        resumed_result = sweep(parallel=jobs, checkpoint=ckpt)
+        # Exactly the torn cell re-ran; every intact line was reused.
+        assert resumed_result.stats.cells_run == 1
+        assert resumed_result.stats.cells_resumed == N_CELLS - 1
+        resumed = resumed_result.to_csv(str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
 
 
 class OneCellBomb:
@@ -150,6 +225,67 @@ class TestCrashResume:
         result = sweep(parallel=2)
         for s in result.series:
             assert s.times == {size: float(size) for size in SIZES}
+
+
+class DieOnce:
+    """os._exit(3) — a fail-stop worker death, no exception message — the
+    first time the chosen cell is measured; later attempts run normally."""
+
+    def __init__(self, flag_path, bad_key):
+        self.flag = str(flag_path)
+        self.bad_key = bad_key
+
+    def __call__(self, machine, stack, nprocs, op, size, settings,
+                 *args, **kwargs):
+        if f"{stack.name}|{size}" == self.bad_key \
+                and not os.path.exists(self.flag):
+            open(self.flag, "w").close()
+            os._exit(3)
+        return float(size)
+
+
+@needs_fork
+class TestWorkerDeath:
+    def test_dead_worker_cells_requeue_and_rerun_exactly_once(
+            self, results_dir, tmp_path, monkeypatch):
+        bad = f"{STACKS[0].name}|{SIZES[-1]}"
+        monkeypatch.setattr(
+            harness, "imb_time", DieOnce(tmp_path / "died.flag", bad))
+        result = sweep(parallel=2)
+        # Every cell landed exactly once with the right value despite the
+        # mid-chunk death...
+        for s in result.series:
+            assert s.times == {size: float(size) for size in SIZES}
+        # ...and the pool accounted for the recovery.
+        assert os.path.exists(tmp_path / "died.flag")
+        assert result.stats.pool_requeued >= 1
+        assert result.stats.pool_workers == 2
+
+    def test_worker_death_sweep_matches_serial_bytes(
+            self, results_dir, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda m, stack, n, op, size, s: float(size))
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "serial.csv"))
+        bad = f"{STACKS[-1].name}|{SIZES[0]}"
+        monkeypatch.setattr(
+            harness, "imb_time", DieOnce(tmp_path / "died.flag", bad))
+        par = sweep(parallel=2).to_csv(str(results_dir / "parallel.csv"))
+        assert open(par, "rb").read() == open(baseline, "rb").read()
+
+
+class TestPoolStats:
+    @needs_fork
+    def test_parallel_sweep_surfaces_pool_diagnostics(self, results_dir):
+        st = sweep(parallel=2).stats
+        assert st.pool_workers == 2
+        assert st.pool_chunks >= 1
+        assert st.pool_requeued == 0
+        assert "pool: 2 workers" in st.render()
+
+    def test_serial_sweep_has_no_pool_stats(self, results_dir):
+        st = sweep(parallel=1).stats
+        assert st.pool_workers == 0
+        assert "pool:" not in st.render()
 
 
 class TestStats:

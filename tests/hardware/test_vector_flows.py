@@ -1,0 +1,187 @@
+"""Differential oracle: vectorized flow updates vs the scalar waterfilling.
+
+The numpy path in :class:`~repro.hardware.flows.FlowNetwork` is a pure
+performance rewrite — ``_assign_rates_vec`` / the array ``_advance`` must
+be **bitwise** indistinguishable from the scalar oracle, not merely close:
+sweep CSVs print 9 decimal places and the serial/parallel equivalence
+battery compares them byte-for-byte, so a single ULP of drift anywhere in
+the fluid model would surface as a flaky equivalence matrix.
+
+Every test runs the same workload twice — ``vectorized=False`` vs
+``vectorized=True`` with ``vector_min_flows = 0`` (numpy on every
+rebalance) — and compares completion times, byte accounts, and event
+counts with ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.flows import FlowNetwork, Resource
+from repro.simtime import Simulator
+
+
+def run_workload(vectorized: bool, seed: int, n_resources: int,
+                 n_flows: int):
+    """One randomized fluid scenario; returns its observable trace.
+
+    Flows start staggered, share random resource subsets with random
+    weights/demands/stream factors, and some resources model contention.
+    The returned tuple captures everything a sweep could observe: per-flow
+    completion times in creation order, final byte/flow accounts, and the
+    event count the simulator dispatched.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = FlowNetwork(sim, vectorized=vectorized)
+    net.vector_min_flows = 0
+    resources = []
+    for i in range(n_resources):
+        if rng.random() < 0.4:
+            res = Resource(f"r{i}", capacity=rng.uniform(1.0, 100.0),
+                           contention_knee=rng.randrange(0, 3),
+                           contention_alpha=rng.uniform(0.01, 0.5))
+        else:
+            res = Resource(f"r{i}", capacity=rng.uniform(1.0, 100.0))
+        resources.append(res)
+    done: list[tuple[str, float]] = []
+
+    def one_flow(label, start, nbytes, demand, weights, latency, streams):
+        yield sim.timeout(start)
+        yield net.transfer(nbytes, demand=demand, weights=weights,
+                           latency=latency, label=label, streams=streams)
+        done.append((label, sim.now))
+
+    for i in range(n_flows):
+        chosen = rng.sample(resources, rng.randrange(1, n_resources + 1))
+        weights = {res: rng.uniform(0.5, 3.0) for res in chosen}
+        streams = {res: rng.choice([0.25, 0.5, 1.0])
+                   for res in chosen if rng.random() < 0.5}
+        sim.process(one_flow(
+            f"f{i}", start=rng.uniform(0.0, 2.0),
+            nbytes=rng.uniform(0.0, 1e4), demand=rng.uniform(1.0, 200.0),
+            weights=weights, latency=rng.choice([0.0, rng.uniform(0, 0.5)]),
+            streams=streams))
+    sim.run()
+    return (done, net.completed_bytes, net.completed_flows,
+            sim.events_processed, sim.now, net)
+
+
+class TestBitwiseEquivalence:
+    @given(seed=st.integers(0, 10**9), n_resources=st.integers(1, 5),
+           n_flows=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_random_fluid_scenarios_are_bitwise_identical(
+            self, seed, n_resources, n_flows):
+        scalar = run_workload(False, seed, n_resources, n_flows)
+        vector = run_workload(True, seed, n_resources, n_flows)
+        # Completion times, flow counts, and event counts: exact equality,
+        # not approx — these feed 9-decimal CSV cells.
+        assert scalar[0] == vector[0]
+        assert scalar[2:5] == vector[2:5]
+        # ``completed_bytes`` is the one tolerance-compared lifetime stat:
+        # the scalar loop accumulates it in set-iteration (address) order,
+        # so the id-ordered vector sum may differ in the last ULP.
+        assert vector[1] == pytest.approx(scalar[1], rel=1e-12)
+        assert scalar[5].vector_assignments == 0
+        assert vector[5].scalar_assignments == 0
+
+    def test_vector_path_actually_engages(self):
+        _done, _b, _f, _e, _now, net = run_workload(True, seed=7,
+                                                    n_resources=3, n_flows=8)
+        assert net.vector_assignments > 0
+
+    def test_threshold_keeps_small_rebalances_scalar(self):
+        sim = Simulator()
+        net = FlowNetwork(sim, vectorized=True)  # default vector_min_flows
+        res = Resource("r", 10.0)
+        fired = []
+
+        def body():
+            yield net.transfer(50.0, demand=100.0, weights={res: 1.0})
+            fired.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert fired == [5.0]
+        # One flow is far below the threshold: the scalar oracle served it.
+        assert net.vector_assignments == 0
+        assert net.scalar_assignments > 0
+
+    def test_flag_default_follows_process_flag(self):
+        from repro import vector
+
+        sim = Simulator()
+        with vector.forced(True):
+            assert FlowNetwork(sim).vectorized is True
+        with vector.forced(False):
+            assert FlowNetwork(sim).vectorized is False
+        assert FlowNetwork(sim, vectorized=True).vectorized is True
+
+
+class TestMidRunFlip:
+    def test_flipping_vectorized_mid_run_changes_nothing(self):
+        # The paths are indistinguishable, so the flag is safe to flip while
+        # flows are in flight; completion times still match the scalar run.
+        def run(flip: bool):
+            sim = Simulator()
+            net = FlowNetwork(sim, vectorized=False)
+            net.vector_min_flows = 0
+            res_a = Resource("a", 20.0)
+            res_b = Resource("b", 8.0)
+            done = []
+
+            def one(label, start, nbytes, weights):
+                yield sim.timeout(start)
+                yield net.transfer(nbytes, demand=50.0, weights=weights)
+                done.append((label, sim.now))
+
+            sim.process(one("x", 0.0, 500.0, {res_a: 1.0, res_b: 1.0}))
+            sim.process(one("y", 0.1, 300.0, {res_a: 2.0}))
+            sim.process(one("z", 0.2, 400.0, {res_b: 1.0}))
+            if flip:
+                def flipper():
+                    yield sim.timeout(0.15)
+                    net.vectorized = True
+
+                sim.process(flipper())
+            sim.run()
+            return done
+
+        assert run(flip=False) == run(flip=True)
+
+
+class TestPaperMachineFlows:
+    def test_memory_transfer_on_paper_machines_is_bitwise_identical(
+            self, paper_machine):
+        # The real memory-system topology (per-domain buses, contention
+        # parameters) on all four paper machines, scalar vs numpy.
+        from repro.hardware.memory import MemorySystem
+
+        def run(vectorized: bool):
+            sim = Simulator()
+            mem = MemorySystem(sim, paper_machine, vectorized=vectorized)
+            mem.network.vector_min_flows = 0
+            far = paper_machine.n_domains - 1
+            last_core = paper_machine.n_cores - 1
+            bufs = [(mem.alloc(256 * 1024, 0), mem.alloc(256 * 1024, far)),
+                    (mem.alloc(128 * 1024, 0), mem.alloc(128 * 1024, 0)),
+                    (mem.alloc(64 * 1024, far), mem.alloc(64 * 1024, 0))]
+            done = []
+
+            def copy(i, src, dst):
+                yield sim.timeout(i * 1e-7)
+                yield mem.copy(0 if i != 2 else last_core,
+                               src, 0, dst, 0, src.size)
+                done.append((i, sim.now))
+
+            for i, (src, dst) in enumerate(bufs):
+                sim.process(copy(i, src, dst))
+            sim.run()
+            return done, mem.network.completed_bytes, sim.events_processed
+
+        assert run(False) == run(True)

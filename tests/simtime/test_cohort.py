@@ -1,0 +1,178 @@
+"""Cohort dispatch vs the scalar event loop (TestCohortDispatch).
+
+``Simulator(cohort=True)`` drains every event ready at one instant as a
+batch before running callbacks — the fast path the vectorized flow network
+feeds.  The contract is *indistinguishability*: dispatch order, clock
+values, counters, failure surfacing, and deadlock diagnostics must match
+the scalar loop exactly; only ``cohorts_dispatched``/``max_cohort`` may
+reveal which loop ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import vector
+from repro.errors import DeadlockError, SimulationError
+from repro.simtime import Simulator
+
+
+def fire_trace(cohort: bool, delays):
+    """Schedule one callback per delay; returns [(now, index)...] in
+    dispatch order plus the simulator for counter checks."""
+    sim = Simulator(cohort=cohort)
+    fired = []
+    for i, d in enumerate(delays):
+        sim.schedule(d, lambda i=i: fired.append((sim.now, i)))
+    sim.run()
+    return fired, sim
+
+
+class TestCohortDispatch:
+    @given(delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_dispatch_order_and_counters_match_scalar(self, delays):
+        # Round to one decimal so same-instant collisions (real cohorts)
+        # are common.
+        delays = [round(d, 1) for d in delays]
+        scalar, s_sim = fire_trace(False, delays)
+        cohort, c_sim = fire_trace(True, delays)
+        assert cohort == scalar
+        assert c_sim.now == s_sim.now
+        assert c_sim.events_processed == s_sim.events_processed
+        assert c_sim.peak_heap == s_sim.peak_heap
+        assert c_sim.cohorts_dispatched >= 1
+        assert s_sim.cohorts_dispatched == 0
+
+    @given(segments=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 8)),
+        min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_process_chains_resume_identically(self, segments):
+        # Chains of identical quantized timeouts: every hop of every chain
+        # collides with its siblings, the worst case for batching bugs.
+        def run(cohort: bool):
+            sim = Simulator(cohort=cohort)
+            log = []
+
+            def chain(cid, start, hops):
+                yield sim.timeout(float(start))
+                for h in range(hops):
+                    log.append((cid, h, sim.now))
+                    yield sim.timeout(0.5)
+
+            for cid, (start, hops) in enumerate(segments):
+                sim.process(chain(cid, start, hops))
+            sim.run()
+            return log, sim.stats
+
+        assert run(False) == run(True)
+
+    def test_same_instant_event_from_callback_lands_after_cohort(self):
+        # A callback scheduling a zero-delay event must see it dispatched
+        # at the same instant but *after* the already-queued batch — the
+        # scalar heap order.
+        def run(cohort: bool):
+            sim = Simulator(cohort=cohort)
+            order = []
+
+            def spawn():
+                order.append("spawn")
+                sim.schedule(0.0, lambda: order.append("child"))
+
+            sim.schedule(1.0, spawn)
+            sim.schedule(1.0, lambda: order.append("sibling"))
+            sim.run()
+            return order
+
+        assert run(True) == run(False) == ["spawn", "sibling", "child"]
+
+    def test_max_cohort_records_widest_batch(self):
+        sim = Simulator(cohort=True)
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.max_cohort == 5
+        assert sim.cohorts_dispatched == 2
+
+    def test_singleton_only_run_reports_max_cohort_one(self):
+        sim = Simulator(cohort=True)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.cohorts_dispatched == 2
+        assert sim.max_cohort == 1
+
+    def test_stats_dict_shape_is_mode_independent(self):
+        # --verbose prints sim.stats; the cohort counters live on the
+        # simulator, not in the dict, so serial/parallel renders match.
+        assert Simulator(cohort=True).stats.keys() == \
+               Simulator(cohort=False).stats.keys()
+
+
+class TestCohortFailures:
+    @pytest.mark.parametrize("cohort", [False, True])
+    def test_unwaited_failure_surfaces_and_loses_no_events(self, cohort):
+        sim = Simulator(cohort=cohort)
+        fired = []
+        # Four events at the same instant (one cohort): a callback, the
+        # failing event, then two more whose callbacks have not run when
+        # the failure surfaces — they must survive for the next run().
+        sim.schedule(0.0, lambda: fired.append("before"))
+        sim.event(name="boom").fail(RuntimeError("boom"))
+        sim.schedule(0.0, lambda: fired.append("after-1"))
+        sim.schedule(0.0, lambda: fired.append("after-2"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert fired == ["before"]
+        sim.run()  # the surviving same-instant events re-dispatch
+        assert fired == ["before", "after-1", "after-2"]
+
+    @pytest.mark.parametrize("cohort", [False, True])
+    def test_raising_callback_requeues_undispatched_cohort_rest(
+            self, cohort):
+        sim = Simulator(cohort=cohort)
+        fired = []
+
+        def bad():
+            raise SimulationError("callback exploded")
+
+        sim.schedule(1.0, lambda: fired.append(0))
+        sim.schedule(1.0, bad)
+        sim.schedule(1.0, lambda: fired.append(2))
+        with pytest.raises(SimulationError, match="exploded"):
+            sim.run()
+        assert fired == [0]
+        sim.run()
+        assert fired == [0, 2]
+
+    @pytest.mark.parametrize("cohort", [False, True])
+    def test_deadlock_diagnostics_identical(self, cohort):
+        sim = Simulator(cohort=cohort)
+
+        def waiter():
+            yield sim.event(name="never")
+
+        sim.process(waiter(), name="stuck")
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        assert "stuck" in str(err.value)
+
+
+class TestCohortFlag:
+    def test_default_follows_process_flag(self):
+        with vector.forced(True):
+            assert Simulator().cohort is True
+        with vector.forced(False):
+            assert Simulator().cohort is False
+
+    def test_explicit_argument_pins_the_mode(self):
+        with vector.forced(True):
+            assert Simulator(cohort=False).cohort is False
+        with vector.forced(False):
+            assert Simulator(cohort=True).cohort is True
