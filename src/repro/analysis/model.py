@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simtime.trace import TraceRecord
 
 __all__ = ["Access", "CopyUse", "Region", "Failure", "HealthEvent",
-           "RankEvent", "TraceModel", "build_model"]
+           "RankEvent", "BenchEvent", "TraceModel", "build_model"]
 
 #: Copy-record labels that double-count a ``knem.copy`` record and must be
 #: skipped when collecting accesses.
@@ -142,6 +142,20 @@ class HealthEvent:
 
 
 @dataclass
+class BenchEvent:
+    """One sweep-substrate event (``chunk.quarantine`` / ``journal.skip`` /
+    ``journal.error``): not attributed to any rank — the substrate around
+    the simulation, not the simulation itself — but modelled so chaos
+    campaigns can assert on the substrate's behaviour the same way the
+    checkers assert on schedules."""
+
+    index: int
+    kind: str                     # "quarantine" | "skip" | "error"
+    cell: Optional[str]
+    fields: dict[str, Any]
+
+
+@dataclass
 class RankEvent:
     """One process-level fault event (``rank.crash``/``rank.stall``) or a
     ``watchdog.timeout`` (rank is ``None`` for machine-wide events)."""
@@ -170,6 +184,9 @@ class TraceModel:
         #: ``health_events`` — a degraded-but-clean schedule shows these
         #: without any race/deadlock findings.
         self.rank_events: list[RankEvent] = []
+        #: sweep-substrate events (quarantined cells, journal skips/errors)
+        #: emitted by ``run_sweep`` via ``SweepStats.events``.
+        self.bench_events: list[BenchEvent] = []
         #: world ranks that died (fail-stop) during the run, in crash order.
         self.dead_ranks: list[int] = []
         #: hb token -> (sender rank, dest world rank) for sends that never
@@ -348,6 +365,21 @@ class TraceModel:
         self.rank_events.append(RankEvent(index, None, "timeout", "",
                                           dict(rec.fields)))
 
+    def _on_chunk_quarantine(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        self.bench_events.append(BenchEvent(index, "quarantine",
+                                            f.get("cell"), dict(f)))
+
+    def _on_journal_skip(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        self.bench_events.append(BenchEvent(index, "skip",
+                                            f.get("cell"), dict(f)))
+
+    def _on_journal_error(self, index, rec, msg_snap, fin_snap):
+        f = rec.fields
+        self.bench_events.append(BenchEvent(index, "error",
+                                            f.get("cell"), dict(f)))
+
     def _on_mem_copy(self, index, rec, msg_snap, fin_snap):
         f = rec.fields
         label = f.get("label", "")
@@ -382,6 +414,9 @@ class TraceModel:
         "rank.crash": _on_rank_crash,
         "rank.stall": _on_rank_stall,
         "watchdog.timeout": _on_watchdog,
+        "chunk.quarantine": _on_chunk_quarantine,
+        "journal.skip": _on_journal_skip,
+        "journal.error": _on_journal_error,
         "copy": _on_mem_copy,
     }
 

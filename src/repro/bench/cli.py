@@ -6,6 +6,13 @@ Examples::
     python -m repro.bench fig4 --scale full --jobs 8
     python -m repro.bench table1 --machine zoot --sample 64
     python -m repro.bench all --scale smoke --jobs 0 --verbose
+    python -m repro.bench --verify-journal results/fig5_dancer.checkpoint.json
+
+Exit codes: 0 success; 2 usage error; 3 when any sweep cell was
+quarantined as a typed abort (the CSV is incomplete — re-run with
+``--resume`` after fixing the cause); 4 under ``--strict`` when any cell
+degraded KNEM health mid-measurement; 5 when ``--verify-journal`` found
+corrupt or torn records (all recoverable by ``--resume`` recompute).
 """
 
 from __future__ import annotations
@@ -23,6 +30,12 @@ from repro.bench.report import render_table1
 
 __all__ = ["main"]
 
+#: exit codes (module constants so tests and CI scripts share them)
+EXIT_OK = 0
+EXIT_ABORTED = 3
+EXIT_DEGRADED = 4
+EXIT_JOURNAL_DAMAGED = 5
+
 
 def _print_result(result, csv: bool, verbose: bool) -> None:
     print(result.render())
@@ -31,6 +44,24 @@ def _print_result(result, csv: bool, verbose: bool) -> None:
     print()
     if csv:
         print(f"wrote {result.to_csv()}")
+
+
+def _result_exit(result, strict: bool) -> int:
+    """Worst exit code one experiment result warrants (0 when healthy)."""
+    stats = result.stats
+    aborted = len(getattr(result, "aborted", {})) or (
+        stats.cells_aborted if stats else 0)
+    if aborted:
+        for key, abort in sorted(getattr(result, "aborted", {}).items()):
+            print(f"ABORTED {result.experiment}/{result.machine}: "
+                  f"{key}: {abort.describe()}", file=sys.stderr)
+        return EXIT_ABORTED
+    if strict and stats is not None and stats.cells_degraded:
+        print(f"DEGRADED {result.experiment}/{result.machine}: "
+              f"{stats.cells_degraded} cell(s) ran with degraded KNEM "
+              f"health (--strict)", file=sys.stderr)
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _combos(name: str, machine: str | None) -> list[tuple[str, str | None]]:
@@ -42,13 +73,16 @@ def _combos(name: str, machine: str | None) -> list[tuple[str, str | None]]:
 
 
 def _run_one(name: str, machine: str | None, scale: str, csv: bool,
-             resume: bool, jobs: int, verbose: bool) -> None:
+             resume: bool, jobs: int, verbose: bool, strict: bool) -> int:
     fn, takes_machine = EXPERIMENTS[name]
+    status = EXIT_OK
     for _name, m in _combos(name, machine):
         result = (fn(m, scale=scale, resume=resume, jobs=jobs)
                   if takes_machine else
                   fn(scale=scale, resume=resume, jobs=jobs))
         _print_result(result, csv, verbose)
+        status = max(status, _result_exit(result, strict))
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,9 +93,9 @@ def main(argv: list[str] | None = None) -> int:
                     "simulated machines.",
     )
     parser.add_argument(
-        "experiment",
+        "experiment", nargs="?",
         choices=sorted(EXPERIMENTS) + ["table1", "all"],
-        help="which paper experiment to run",
+        help="which paper experiment to run (omit with --verify-journal)",
     )
     parser.add_argument("--machine", choices=sorted(MACHINE_RANKS),
                         help="restrict to one machine (default: all that apply)")
@@ -84,6 +118,15 @@ def main(argv: list[str] | None = None) -> int:
              "(experiment, machine) combos instead.  Output is byte-"
              "identical to --jobs 1 (default)")
     parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 4) when any cell ran with degraded KNEM "
+             "health (the recovery ladder fired mid-measurement)")
+    parser.add_argument(
+        "--verify-journal", metavar="PATH", default=None,
+        help="inspect a checkpoint journal: verify per-record checksums and "
+             "report corrupt/torn records, without running anything "
+             "(exit 5 when damage is found; --resume recovers it)")
+    parser.add_argument(
         "--verbose", action="store_true",
         help="print simulator counters (events, resumes, peak heap) and "
              "events/sec per experiment")
@@ -96,6 +139,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.verify_journal is not None:
+        if args.experiment is not None:
+            parser.error("--verify-journal inspects a file; "
+                         "do not also name an experiment")
+        from repro.bench.harness import verify_journal
+
+        report = verify_journal(args.verify_journal)
+        print(report.render())
+        return EXIT_OK if report.ok else EXIT_JOURNAL_DAMAGED
+    if args.experiment is None:
+        parser.error("an experiment name is required "
+                     "(or use --verify-journal PATH)")
     if args.vector:
         # Both the in-process flag and the environment: forked warm-pool
         # workers inherit either, spawned ones only the environment.
@@ -116,9 +171,10 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table1(machine, rows,
                                 paper=PAPER_EXPECTATIONS["table1"][machine]))
             print()
-        return 0
+        return EXIT_OK
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    status = EXIT_OK
     if args.experiment == "all" and args.jobs != 1:
         # Fan whole (experiment, machine) combos; each worker runs its cells
         # serially, so the machine is never oversubscribed.  Results print
@@ -132,11 +188,13 @@ def main(argv: list[str] | None = None) -> int:
                  for name, m in _combos(exp, args.machine)]
         for result in run_experiments(specs, args.jobs):
             _print_result(result, args.csv, args.verbose)
-        return 0
+            status = max(status, _result_exit(result, args.strict))
+        return status
     for name in names:
-        _run_one(name, args.machine, args.scale, args.csv, args.resume,
-                 args.jobs, args.verbose)
-    return 0
+        status = max(status, _run_one(
+            name, args.machine, args.scale, args.csv, args.resume,
+            args.jobs, args.verbose, args.strict))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -48,13 +48,43 @@ import time
 from multiprocessing import connection as _mp_connection
 from typing import Any, Iterator, Optional, Sequence
 
-from repro.bench.chunking import ChunkScheduler
+from repro.bench.chunking import DEFAULT_RETRY_LIMIT, ChunkScheduler
 from repro.errors import BenchmarkError
 
-__all__ = ["resolve_jobs", "run_cells", "run_experiments", "WarmPool"]
+__all__ = ["resolve_jobs", "run_cells", "run_experiments", "WarmPool",
+           "install_cell_chaos", "in_worker"]
 
 #: seconds between liveness polls while the result queue is quiet
 _POLL_INTERVAL = 0.05
+
+#: exponential-backoff respawn schedule after consecutive worker deaths:
+#: delay = BASE * 2**(deaths-1), capped.  A single death respawns almost
+#: immediately; a poison chunk killing its isolated retries in a row backs
+#: off instead of fork-bombing the parent.
+RESPAWN_BACKOFF_BASE = 0.02
+RESPAWN_BACKOFF_CAP = 0.5
+
+#: chaos-campaign cell hook: called with the cell key before each
+#: measurement (in workers *and* on the serial path).  Installed in the
+#: parent before the pool forks so workers inherit it; the hook may raise
+#: a typed error or — inside a worker only, see :func:`in_worker` — call
+#: ``os._exit`` to simulate a fail-stop worker death.
+_CELL_CHAOS_HOOK = None
+
+#: True inside a warm-pool worker process (set at worker start; inherited
+#: ``False`` everywhere else).
+_IN_WORKER = False
+
+
+def install_cell_chaos(hook) -> None:
+    """Install (or clear, with ``None``) the per-cell chaos hook."""
+    global _CELL_CHAOS_HOOK
+    _CELL_CHAOS_HOOK = hook
+
+
+def in_worker() -> bool:
+    """True when called inside a warm-pool worker process."""
+    return _IN_WORKER
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -87,8 +117,11 @@ def _run_cell(task: tuple) -> tuple[str, float, Any]:
     machine, stack, nprocs, operation, size, settings = task
     from repro.bench import harness, imb
 
+    key = f"{stack.name}|{size}"
+    if _CELL_CHAOS_HOOK is not None:
+        _CELL_CHAOS_HOOK(key)
     t = harness.imb_time(machine, stack, nprocs, operation, size, settings)
-    return f"{stack.name}|{size}", t, imb.consume_cell_stats()
+    return key, t, imb.consume_cell_stats()
 
 
 def _worker_main(worker_id: int, task_q, result_conn) -> None:
@@ -99,6 +132,8 @@ def _worker_main(worker_id: int, task_q, result_conn) -> None:
     wid, chunk_id)`` per finished chunk, ``("error", wid, chunk_id, exc)``
     then exit on a cell failure.  ``None`` in shuts the worker down.
     """
+    global _IN_WORKER
+    _IN_WORKER = True
     try:
         while True:
             msg = task_q.get()
@@ -231,8 +266,9 @@ def run_cells(
     cells: Sequence[tuple],
     jobs: int,
     report: Optional[dict] = None,
-) -> Iterator[tuple[str, float, Any]]:
-    """Yield ``(cell key, seconds, CellStats|None)`` for each (stack, size).
+    retry_limit: Optional[int] = DEFAULT_RETRY_LIMIT,
+) -> Iterator[tuple[str, Any, Any]]:
+    """Yield ``(cell key, seconds | CellAborted, CellStats|None)`` per cell.
 
     Results arrive in completion order — the caller journals them as they
     land and rebuilds the (deterministic) series from the full cell map at
@@ -240,10 +276,15 @@ def run_cells(
     propagates to the caller and shuts the pool down; cells already yielded
     stay journaled, so a failed parallel sweep resumes exactly like a
     killed serial one.  A worker that *dies* (fail-stop, no exception
-    message) is replaced and its unfinished cells re-run.
+    message) is replaced — after exponential backoff when deaths repeat —
+    and its unfinished cells re-run, climbing the quarantine ladder: a cell
+    that exhausts ``retry_limit`` worker deaths is yielded as a typed
+    :class:`~repro.bench.chunking.CellAborted` instead of a measurement
+    (``retry_limit=None`` restores the unbounded requeue-forever
+    behaviour).
 
     ``report``, when given, receives pool diagnostics (workers, chunks,
-    requeues, respawns) after the run.
+    requeues, respawns, aborts, backoff) after the run.
     """
     tasks = [(machine, stack, nprocs, operation, size, settings)
              for stack, size in cells]
@@ -270,9 +311,12 @@ def run_cells(
         [float(size) for _stack, size in cells],
         workers=n,
         classes=[stack.name for stack, _size in cells],
+        retry_limit=retry_limit,
     )
     pool = WarmPool(n)
     busy: dict[int, int] = {}  # worker id -> outstanding chunk id
+    consecutive_deaths = 0
+    backoff_total = 0.0
 
     def top_up() -> None:
         for wid in pool.worker_ids:
@@ -284,6 +328,20 @@ def run_cells(
             pool.send(
                 wid, (chunk.id, [(i, tasks[i]) for i in chunk.cells]))
             busy[wid] = chunk.id
+
+    def backoff_delay() -> float:
+        """Pre-respawn delay for the current death streak (and count it)."""
+        nonlocal backoff_total
+        delay = 0.0
+        if consecutive_deaths > 1:
+            delay = min(RESPAWN_BACKOFF_CAP,
+                        RESPAWN_BACKOFF_BASE * 2 ** (consecutive_deaths - 2))
+            backoff_total += delay
+        return delay
+
+    def key_of(idx: int) -> str:
+        stack, size = cells[idx]
+        return f"{stack.name}|{size}"
 
     try:
         top_up()
@@ -300,7 +358,11 @@ def run_cells(
                         "workers with work, but results are missing")
                 for chunk_id in lost_chunks:
                     scheduler.fail(chunk_id)
+                for idx, abort in scheduler.drain_aborted():
+                    yield key_of(idx), abort, None
                 for _ in died:
+                    consecutive_deaths += 1
+                    time.sleep(backoff_delay())
                     pool.respawn()
                 if died:
                     top_up()
@@ -316,17 +378,23 @@ def run_cells(
                 if busy.get(wid) == chunk_id:
                     del busy[wid]
                     scheduler.complete(chunk_id)
+                    consecutive_deaths = 0
                     top_up()
                 # else: the worker was presumed dead and its chunk already
                 # failed/requeued — a late flush, already first-wins-safe.
             elif kind == "eof":
                 # The worker's pipe closed: fail-stop death (possibly
                 # truncating its final frame).  Requeue whatever it held
-                # and keep the pool at full strength.
+                # (quarantining budget-exhausted cells) and keep the pool
+                # at full strength, backing off when deaths repeat.
                 _kind, wid = msg
                 pool.reap(wid)
                 if wid in busy:
                     scheduler.fail(busy.pop(wid))
+                for idx, abort in scheduler.drain_aborted():
+                    yield key_of(idx), abort, None
+                consecutive_deaths += 1
+                time.sleep(backoff_delay())
                 pool.respawn()
                 top_up()
             elif kind == "error":
@@ -342,7 +410,10 @@ def run_cells(
                 chunks_failed=scheduler.chunks_failed,
                 cells_requeued=scheduler.cells_requeued,
                 duplicates_dropped=scheduler.duplicates_dropped,
+                cells_aborted=scheduler.cells_aborted,
+                chunks_quarantined=scheduler.chunks_quarantined,
                 respawns=pool.respawns,
+                backoff_seconds=backoff_total,
             )
         pool.shutdown()
 

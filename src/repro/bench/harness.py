@@ -11,21 +11,25 @@ corresponding collective component" (with the sense inverted: values above
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import IO, Iterable, Optional
+from typing import IO, Callable, Iterable, Optional
 
 from repro.bench import imb
+from repro.bench.chunking import DEFAULT_RETRY_LIMIT, CellAborted
 from repro.bench.imb import CellStats, ImbSettings, imb_time
 from repro.errors import BenchmarkError
 from repro.faults.plan import FaultPlan
 from repro.mpi.stacks import Stack
+from repro.simtime.trace import TraceRecord
 from repro.units import fmt_size, fmt_time
 
-__all__ = ["Series", "ExperimentResult", "SweepStats", "run_sweep",
-           "results_dir", "checkpoint_path"]
+__all__ = ["Series", "ExperimentResult", "SweepStats", "JournalReport",
+           "run_sweep", "results_dir", "checkpoint_path", "verify_journal",
+           "set_journal_wrapper"]
 
 
 def results_dir() -> str:
@@ -86,6 +90,22 @@ class SweepStats:
     pool_workers: int = 0
     pool_chunks: int = 0
     pool_requeued: int = 0
+    #: quarantine ladder: cells recorded as typed aborts after exhausting
+    #: their worker-death retry budget, and replacement workers forked
+    pool_respawns: int = 0
+    cells_aborted: int = 0
+    chunks_quarantined: int = 0
+    #: cells whose cell run degraded KNEM health (``knem.degrade`` events)
+    cells_degraded: int = 0
+    #: journal robustness: corrupt mid-file records skipped (and recomputed)
+    #: on resume, and append errors that downgraded journaling mid-sweep
+    journal_skipped: int = 0
+    journal_errors: int = 0
+    #: trace-model events emitted by the sweep substrate itself
+    #: (``chunk.quarantine`` per aborted cell, ``journal.skip`` per
+    #: skipped record) — feed to ``TraceModel.ingest`` alongside simulator
+    #: streams
+    events: list = field(default_factory=list)
 
     def add_cell(self, stats: Optional[CellStats]) -> None:
         self.cells_run += 1
@@ -93,6 +113,8 @@ class SweepStats:
             return
         self.sim_events += stats.sim_events
         self.process_resumes += stats.process_resumes
+        if stats.knem_degrades:
+            self.cells_degraded += 1
         if stats.peak_heap > self.peak_heap:
             self.peak_heap = stats.peak_heap
 
@@ -117,6 +139,16 @@ class SweepStats:
                      f"{self.pool_chunks} chunks")
             if self.pool_requeued:
                 base += f", {self.pool_requeued} requeued"
+            if self.pool_respawns:
+                base += f", {self.pool_respawns} respawns"
+        if self.cells_aborted:
+            base += (f" | ABORTED: {self.cells_aborted} cell(s) quarantined"
+                     f" ({self.chunks_quarantined} chunk(s))")
+        if self.cells_degraded:
+            base += f" | degraded: {self.cells_degraded} cell(s)"
+        if self.journal_skipped or self.journal_errors:
+            base += (f" | journal: {self.journal_skipped} corrupt record(s) "
+                     f"skipped, {self.journal_errors} append error(s)")
         return base
 
 
@@ -133,6 +165,9 @@ class ExperimentResult:
     #: simulator counters + wall time of the sweep that produced this result
     #: (None for results not built by :func:`run_sweep`)
     stats: Optional[SweepStats] = None
+    #: quarantined cells by key (``stack|size``): typed aborts, absent from
+    #: ``series`` and the CSV — re-running with ``--resume`` recomputes them
+    aborted: dict[str, CellAborted] = field(default_factory=dict)
 
     @property
     def sizes(self) -> list[int]:
@@ -232,25 +267,98 @@ def _check_header(found: Optional[dict], header: dict, path: str) -> None:
             f"(header mismatch); delete it to start over")
 
 
-def _load_checkpoint(path: str, header: dict) -> dict[str, float]:
-    """Completed cells from ``path``; empty when absent.
+_JOURNAL_FORMAT = 3
 
-    Reads the append-only journal (format 2: a header line followed by one
-    ``{"cell": key, "t": seconds}`` line per completed cell).  A torn final
-    line — the signature of a crash mid-append — is dropped; anything else
-    malformed is a typed error.  Old format-1 checkpoints (a single JSON
-    document with a ``cells`` map) are read transparently; the caller's
-    compaction rewrite migrates them.
+#: chaos hook: wraps the journal file object opened for appends (fault
+#: campaigns inject EIO/ENOSPC/short writes here); identity when unset.
+_JOURNAL_WRAPPER: Optional[Callable[[IO[str]], IO[str]]] = None
+
+
+def set_journal_wrapper(fn: Optional[Callable[[IO[str]], IO[str]]]) -> None:
+    """Install (or clear, with ``None``) the journal file wrapper hook."""
+    global _JOURNAL_WRAPPER
+    _JOURNAL_WRAPPER = fn
+
+
+def _record_checksum(key: str, t_literal: str) -> str:
+    """Per-record integrity checksum of a format-3 journal line.
+
+    Computed over the cell key and the *exact JSON literal* of the time
+    (so the float bit pattern is covered end-to-end), blake2b for the same
+    reason :mod:`repro.faults.plan` uses it: cheap, in the stdlib, and not
+    fooled by the single-bit flips a CRC-of-adjacent-records would be.
+    """
+    token = f"{key}|{t_literal}".encode()
+    return hashlib.blake2b(token, digest_size=8).hexdigest()
+
+
+@dataclass
+class JournalSkip:
+    """One corrupt mid-file journal record skipped on load."""
+
+    lineno: int
+    reason: str
+    cell: Optional[str] = None   # recovered when the line still parses
+
+
+@dataclass
+class JournalReport:
+    """What :func:`verify_journal` / the loader found in one journal."""
+
+    path: str
+    format: int
+    header: Optional[dict]
+    cells: dict[str, float]
+    skipped: list[JournalSkip]
+    torn_tail: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when every record was intact (a torn tail still counts as
+        recoverable but not ok — the cell must recompute)."""
+        return not self.skipped and not self.torn_tail
+
+    def render(self) -> str:
+        lines = [f"journal {self.path}: format {self.format}, "
+                 f"{len(self.cells)} intact cell(s)"]
+        for skip in self.skipped:
+            what = f" (cell {skip.cell!r})" if skip.cell else ""
+            lines.append(f"  corrupt line {skip.lineno}{what}: {skip.reason}"
+                         f" — cell will recompute on --resume")
+        if self.torn_tail:
+            lines.append("  torn final line (crash mid-append) — cell will "
+                         "recompute on --resume")
+        if self.ok:
+            lines.append("  every record intact")
+        return "\n".join(lines)
+
+
+def _parse_journal(path: str, header: Optional[dict]) -> JournalReport:
+    """Parse a journal of any known format into a :class:`JournalReport`.
+
+    Format 3 records carry a blake2b checksum: a corrupt *interior* record
+    (bit rot, a partially flushed append that later appends buried) is
+    skipped and reported — the cell simply recomputes on resume — instead
+    of poisoning the whole journal.  A torn *final* line is the signature
+    of a crash mid-append and is dropped silently in every format.  Format
+    2 (no checksums) keeps its stricter historical contract: a malformed
+    interior line is a typed error, because without checksums a
+    wrong-but-parseable record cannot be told from a right one.  Format 1
+    (single JSON document) is read transparently and migrated by the
+    caller's compaction rewrite.
+
+    ``header`` is checked when given; pass ``None`` to inspect a journal
+    without knowing which sweep it belongs to (``--verify-journal``).
     """
     try:
         with open(path) as fh:
             raw = fh.read()
     except FileNotFoundError:
-        return {}
+        return JournalReport(path, _JOURNAL_FORMAT, None, {}, [], False)
     except OSError as err:
         raise BenchmarkError(f"corrupt sweep checkpoint {path}: {err}") from err
     if not raw.strip():
-        return {}
+        return JournalReport(path, _JOURNAL_FORMAT, None, {}, [], False)
     lines = raw.splitlines()
     try:
         head = json.loads(lines[0])
@@ -265,37 +373,69 @@ def _load_checkpoint(path: str, header: dict) -> dict[str, float]:
         except ValueError as err:
             raise BenchmarkError(
                 f"corrupt sweep checkpoint {path}: {err}") from err
-        _check_header(data.get("header"), header, path)
+        if header is not None:
+            _check_header(data.get("header"), header, path)
         cells = data.get("cells", {})
         if not isinstance(cells, dict):
             raise BenchmarkError(f"corrupt sweep checkpoint {path}: no cell map")
-        return cells
-    if head.get("format") != _JOURNAL_FORMAT:
+        return JournalReport(path, 1, data.get("header"), cells, [], False)
+    fmt = head.get("format")
+    if fmt not in (2, 3):
         raise BenchmarkError(
             f"corrupt sweep checkpoint {path}: "
-            f"unknown journal format {head.get('format')!r}")
-    _check_header(head.get("header"), header, path)
+            f"unknown journal format {fmt!r}")
+    if header is not None:
+        _check_header(head.get("header"), header, path)
     cells: dict[str, float] = {}
+    skipped: list[JournalSkip] = []
+    torn_tail = False
     last = len(lines)
     for lineno, line in enumerate(lines[1:], start=2):
         if not line.strip():
             continue
+        cell_hint: Optional[str] = None
         try:
             rec = json.loads(line)
             key, t = rec["cell"], rec["t"]
             if not isinstance(key, str) or not isinstance(t, (int, float)):
                 raise ValueError("bad cell record")
+            cell_hint = key
+            if fmt == 3:
+                want = _record_checksum(key, json.dumps(t))
+                got = rec.get("ck")
+                if got != want:
+                    raise ValueError(
+                        f"checksum mismatch (recorded {got!r})")
         except (ValueError, KeyError, TypeError) as err:
             if lineno == last:
+                torn_tail = True
                 break  # torn tail from a crash mid-append; cell re-runs
+            if fmt == 3:
+                skipped.append(JournalSkip(lineno, str(err), cell_hint))
+                continue  # skip-and-report: the cell recomputes
             raise BenchmarkError(
                 f"corrupt sweep checkpoint {path}: "
                 f"bad journal line {lineno}") from err
         cells[key] = t
-    return cells
+    return JournalReport(path, fmt, head.get("header"), cells, skipped,
+                         torn_tail)
 
 
-_JOURNAL_FORMAT = 2
+def verify_journal(path: str) -> JournalReport:
+    """Inspect a checkpoint journal without running anything.
+
+    The ``python -m repro.bench --verify-journal PATH`` subcommand: parses
+    every record, verifies format-3 checksums, and reports corrupt/torn
+    records (each of which ``--resume`` would recover by recomputation).
+    Raises :class:`~repro.errors.BenchmarkError` only for damage resume
+    cannot recover from (unreadable header, unknown format).
+    """
+    return _parse_journal(path, header=None)
+
+
+def _load_checkpoint(path: str, header: dict) -> JournalReport:
+    """Completed cells (and skip reports) from ``path``; empty when absent."""
+    return _parse_journal(path, header)
 
 
 def _compact_checkpoint(path: str, header: dict,
@@ -304,7 +444,8 @@ def _compact_checkpoint(path: str, header: dict,
 
     Write-temp-then-rename: a crash leaves either the previous journal or
     the compacted one — never a torn file.  Run once per sweep start, this
-    also migrates format-1 checkpoints and drops torn tails/duplicates.
+    also migrates format-1/2 checkpoints to format 3 (adding per-record
+    checksums) and drops torn tails, corrupt records, and duplicates.
     """
     tmp = path + ".tmp"
     with open(tmp, "w") as fh:
@@ -319,8 +460,11 @@ def _compact_checkpoint(path: str, header: dict,
 
 def _journal_line(key: str, t: float) -> str:
     # Floats go through json ``repr`` verbatim (exact round-trip), so a
-    # resumed sweep reproduces CSVs byte-for-byte.
-    return json.dumps({"cell": key, "t": t}) + "\n"
+    # resumed sweep reproduces CSVs byte-for-byte; the checksum covers the
+    # same literal the reader re-hashes.
+    t_literal = json.dumps(t)
+    return ('{"cell": %s, "t": %s, "ck": "%s"}\n'
+            % (json.dumps(key), t_literal, _record_checksum(key, t_literal)))
 
 
 def _journal_append(fh: IO[str], key: str, t: float) -> None:
@@ -343,6 +487,7 @@ def run_sweep(
     fault_plan: Optional["FaultPlan"] = None,
     checkpoint: Optional[str] = None,
     parallel: int = 1,
+    retry_limit: Optional[int] = DEFAULT_RETRY_LIMIT,
 ) -> ExperimentResult:
     """Run the (stack x size) grid and return the collected curves.
 
@@ -351,17 +496,24 @@ def run_sweep(
     ``None`` the kernel path stays on its zero-overhead fast path.
 
     ``checkpoint`` names a journal file: every completed (stack, size) cell
-    is appended there durably (header line + one JSON line per cell; the
-    journal is compacted — and old-format checkpoints migrated — on load),
-    and cells already journaled are skipped on restart.  Because each cell
-    builds a fresh machine, a killed-and-resumed sweep produces the same
-    times — and therefore byte-identical CSVs — as an uninterrupted one.
+    is appended there durably (header line + one checksummed JSON line per
+    cell; the journal is compacted — and old-format checkpoints migrated —
+    on load), and cells already journaled are skipped on restart.  Corrupt
+    interior records are skipped-and-reported (``stats.journal_skipped``)
+    and their cells recomputed; an append error mid-sweep downgrades the
+    rest of the sweep to no-journaling (``stats.journal_errors``) rather
+    than risking interior corruption.  Because each cell builds a fresh
+    machine, a killed-and-resumed sweep produces the same times — and
+    therefore byte-identical CSVs — as an uninterrupted one.
 
     ``parallel`` fans pending cells across worker processes (0 = one per
     CPU; see :mod:`repro.bench.executor`).  Each cell is a pure function of
     its inputs, every simulator iterates in creation-id order, and the cell
     map is merged by this single writer, so parallel runs produce CSVs and
-    checkpoints byte-identical to ``parallel=1``.
+    checkpoints byte-identical to ``parallel=1``.  ``retry_limit`` is the
+    per-cell worker-death budget of the quarantine ladder (parallel only);
+    quarantined cells land in ``result.aborted`` and are *absent* from the
+    series/CSV/journal, so ``--resume`` recomputes them.
     """
     stacks = list(stacks)
     sizes = list(sizes)
@@ -372,18 +524,49 @@ def run_sweep(
         settings = replace(settings, fault_plan=fault_plan)
     header: Optional[dict] = None
     cells: dict[str, float] = {}
+    stats = SweepStats()
     if checkpoint is not None:
         header = _sweep_header(experiment, machine, operation, nprocs,
                                settings)
-        cells = _load_checkpoint(checkpoint, header)
+        report = _load_checkpoint(checkpoint, header)
+        cells = report.cells
+        stats.journal_skipped = len(report.skipped)
+        for skip in report.skipped:
+            stats.events.append(TraceRecord(0.0, "journal.skip", {
+                "path": checkpoint, "lineno": skip.lineno,
+                "cell": skip.cell, "reason": skip.reason}))
         _compact_checkpoint(checkpoint, header, cells)
-    stats = SweepStats(cells_resumed=len(cells))
+    stats.cells_resumed = len(cells)
+    aborted: dict[str, CellAborted] = {}
     wall0 = time.perf_counter()
     pending = [(stack, size) for stack in stacks for size in sizes
                if f"{stack.name}|{size}" not in cells]
     journal: Optional[IO[str]] = None
     if checkpoint is not None and pending:
         journal = open(checkpoint, "a")
+        if _JOURNAL_WRAPPER is not None:
+            journal = _JOURNAL_WRAPPER(journal)
+
+    def journal_cell(key: str, t: float) -> None:
+        # An append that errors (disk full, I/O error, chaos injection)
+        # downgrades the sweep to no-journaling: retrying a half-written
+        # line could corrupt the *interior* of the journal, whereas
+        # stopping leaves at most a torn tail — which resume tolerates.
+        nonlocal journal
+        if journal is None:
+            return
+        try:
+            _journal_append(journal, key, t)
+        except OSError as err:
+            stats.journal_errors += 1
+            stats.events.append(TraceRecord(0.0, "journal.error", {
+                "cell": key, "reason": str(err)}))
+            try:
+                journal.close()
+            except OSError:
+                pass
+            journal = None
+
     try:
         if parallel != 1 and pending:
             from repro.bench.executor import run_cells
@@ -391,22 +574,29 @@ def run_sweep(
             pool_report: dict = {}
             for key, t, cell_stats in run_cells(
                     machine, operation, nprocs, settings, pending,
-                    jobs=parallel, report=pool_report):
+                    jobs=parallel, report=pool_report,
+                    retry_limit=retry_limit):
+                if isinstance(t, CellAborted):
+                    aborted[key] = t
+                    stats.events.append(TraceRecord(0.0, "chunk.quarantine", {
+                        "cell": key, "deaths": t.deaths, "reason": t.reason}))
+                    continue
                 cells[key] = t
                 stats.add_cell(cell_stats)
-                if journal is not None:
-                    _journal_append(journal, key, t)
+                journal_cell(key, t)
             stats.pool_workers = pool_report.get("workers", 0)
             stats.pool_chunks = pool_report.get("chunks", 0)
             stats.pool_requeued = pool_report.get("cells_requeued", 0)
+            stats.pool_respawns = pool_report.get("respawns", 0)
+            stats.cells_aborted = pool_report.get("cells_aborted", 0)
+            stats.chunks_quarantined = pool_report.get("chunks_quarantined", 0)
         else:
             for stack, size in pending:
                 t = imb_time(machine, stack, nprocs, operation, size, settings)
                 key = f"{stack.name}|{size}"
                 cells[key] = t
                 stats.add_cell(imb.consume_cell_stats())
-                if journal is not None:
-                    _journal_append(journal, key, t)
+                journal_cell(key, t)
     finally:
         if journal is not None:
             journal.close()
@@ -415,7 +605,9 @@ def run_sweep(
     for stack in stacks:
         s = Series(stack.name)
         for size in sizes:
-            s.times[size] = cells[f"{stack.name}|{size}"]
+            t = cells.get(f"{stack.name}|{size}")
+            if t is not None:   # aborted cells are absent, not NaN
+                s.times[size] = t
         series.append(s)
     return ExperimentResult(
         experiment=experiment,
@@ -425,4 +617,5 @@ def run_sweep(
         series=series,
         reference=reference or stacks[-1].name,
         stats=stats,
+        aborted=aborted,
     )

@@ -37,6 +37,10 @@ class CellStats:
     sim_events: int
     process_resumes: int
     peak_heap: int
+    #: ``knem.degrade`` events this cell caused (tracer counters are always
+    #: on, so this is free); nonzero means the KNEM recovery ladder fired
+    #: and the cell's KNEM health is suspect — ``--strict`` fails on it.
+    knem_degrades: int = 0
 
 
 #: Counters of the most recent :func:`imb_time` call.  A module global
@@ -212,5 +216,6 @@ def imb_time(
         sim_events=sim.events_processed,
         process_resumes=sim.process_resumes,
         peak_heap=sim.peak_heap,
+        knem_degrades=machine.tracer.counters.get("knem.degrade", 0),
     )
     return max(result.values) / iters

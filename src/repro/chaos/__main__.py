@@ -1,0 +1,7 @@
+"""``python -m repro.chaos`` — run seeded chaos campaigns."""
+
+import sys
+
+from repro.chaos.cli import main
+
+sys.exit(main())

@@ -1,0 +1,103 @@
+"""Command-line chaos campaigns: ``python -m repro.chaos``.
+
+Examples::
+
+    python -m repro.chaos --seed 7
+    python -m repro.chaos --seed 1 --seed 2 --seed 3 --jobs 2 \\
+        --out campaign_report.json
+    python -m repro.chaos --seed 5 --force poison --force corrupt --verbose
+
+Exit code 0 when every campaign's oracles all hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.bench.imb import OPS
+from repro.chaos.campaign import CampaignSpec, run_campaign
+
+__all__ = ["main"]
+
+_DIMENSIONS = ("knem", "stall", "crash", "deaths", "poison", "fsfault",
+               "corrupt")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Run seeded chaos campaigns against the sweep "
+                    "substrate and check the invariant oracles.",
+    )
+    parser.add_argument("--seed", type=int, action="append", default=None,
+                        help="campaign seed (repeatable; default: 0)")
+    parser.add_argument("--machine", default="dancer",
+                        help="simulated machine (default: dancer)")
+    parser.add_argument("--operation", default="bcast",
+                        choices=sorted(OPS),
+                        help="collective under test (default: bcast)")
+    parser.add_argument("--nprocs", type=int, default=4,
+                        help="ranks per cell (default: 4)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="warm-pool workers for the chaos phase "
+                             "(1 = serial substrate, no worker-death "
+                             "dimensions; default: 2)")
+    parser.add_argument("--retry-limit", type=int, default=2,
+                        help="per-cell worker-death budget (default: 2)")
+    parser.add_argument("--workdir", default=None,
+                        help="where journals and death flags live "
+                             "(default: a fresh temp dir per campaign)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the campaign report(s) as JSON")
+    parser.add_argument("--force", action="append", default=[],
+                        choices=_DIMENSIONS, metavar="DIM",
+                        help="force one fault dimension on (repeatable)")
+    parser.add_argument("--disable", action="append", default=[],
+                        choices=_DIMENSIONS, metavar="DIM",
+                        help="force one fault dimension off (repeatable)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the full report per campaign")
+    args = parser.parse_args(argv)
+    overlap = set(args.force) & set(args.disable)
+    if overlap:
+        parser.error(f"cannot both force and disable {sorted(overlap)}")
+    overrides = {dim: True for dim in args.force}
+    overrides.update({dim: False for dim in args.disable})
+
+    reports = []
+    for seed in (args.seed if args.seed is not None else [0]):
+        spec = CampaignSpec(
+            seed=seed, machine=args.machine, operation=args.operation,
+            nprocs=args.nprocs, jobs=args.jobs,
+            retry_limit=args.retry_limit, **overrides)
+        workdir = args.workdir or tempfile.mkdtemp(
+            prefix=f"repro-chaos-{seed}-")
+        report = run_campaign(spec, workdir)
+        reports.append(report)
+        if args.verbose:
+            print(report.render())
+        else:
+            print(f"chaos campaign seed={seed}: "
+                  f"{'PASS' if report.ok else 'FAIL'}")
+        if not report.ok:
+            for oracle in report.oracles:
+                if not oracle.ok:
+                    print(f"  FAILED oracle {oracle.name}: "
+                          f"{oracle.detail}", file=sys.stderr)
+
+    if args.out:
+        payload = ([r.as_dict() for r in reports] if len(reports) > 1
+                   else reports[0].as_dict())
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Campaign reports: what ran, what was injected, what the oracles said."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["OracleVerdict", "PhaseOutcome", "CampaignReport"]
+
+
+@dataclass
+class OracleVerdict:
+    """One invariant check over a finished campaign."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class PhaseOutcome:
+    """One campaign phase (reference / chaos / corrupt / resume)."""
+
+    name: str
+    ok: bool
+    #: typed error string when the phase aborted (``None`` = completed)
+    error: Optional[str] = None
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "error": self.error,
+                "detail": self.detail}
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced, JSON-serializable for CI."""
+
+    seed: int
+    spec: dict
+    dimensions: dict
+    phases: list[PhaseOutcome] = field(default_factory=list)
+    oracles: list[OracleVerdict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every oracle held (phases may abort *typed* and the
+        campaign still passes — that is the point of typed aborts)."""
+        return all(o.ok for o in self.oracles)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "spec": self.spec,
+            "dimensions": self.dimensions,
+            "phases": [p.as_dict() for p in self.phases],
+            "oracles": [o.as_dict() for o in self.oracles],
+            "stats": self.stats,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        """Human-readable one-screen summary."""
+        lines = [f"chaos campaign seed={self.seed}: "
+                 f"{'PASS' if self.ok else 'FAIL'}"]
+        lines.append(f"  dimensions: {json.dumps(self.dimensions)}")
+        for p in self.phases:
+            what = "ok" if p.ok else f"aborted: {p.error}"
+            lines.append(f"  phase {p.name}: {what}")
+        for o in self.oracles:
+            mark = "PASS" if o.ok else "FAIL"
+            detail = f" — {o.detail}" if o.detail else ""
+            lines.append(f"  oracle {o.name}: {mark}{detail}")
+        if self.stats:
+            lines.append(f"  stats: {json.dumps(self.stats)}")
+        return "\n".join(lines)
+
+
+def merge_ok(reports: "list[CampaignReport]") -> bool:
+    """True when every campaign in a matrix passed."""
+    return all(r.ok for r in reports)

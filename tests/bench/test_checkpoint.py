@@ -1,13 +1,15 @@
 """Crash-safe sweep checkpoints: kill a sweep mid-run, resume, same bytes.
 
 ``run_sweep(checkpoint=...)`` journals each completed (stack, size) cell to
-an append-only JSONL file next to the CSV (format 2: one header line plus
-one line per cell, compacted on load).  These tests pin the whole contract:
-an interrupted sweep resumed from its checkpoint re-runs only the missing
-cells and produces a byte-identical CSV, a checkpoint from a *different*
-sweep is refused, a corrupt journal is a typed error — never silently wrong
-numbers — a torn final line (crash mid-append) just re-runs that cell, and
-old format-1 checkpoints are migrated transparently.
+an append-only JSONL file next to the CSV (format 3: one header line plus
+one checksummed line per cell, compacted on load).  These tests pin the
+whole contract: an interrupted sweep resumed from its checkpoint re-runs
+only the missing cells and produces a byte-identical CSV, a checkpoint
+from a *different* sweep is refused, corrupt *interior* records are
+skipped-and-reported (their cells recompute — never silently wrong
+numbers), a torn final line (crash mid-append) just re-runs that cell, and
+old format-1/2 checkpoints are migrated transparently (format 2, which has
+no checksums, keeps its stricter corrupt-is-a-typed-error contract).
 """
 
 import json
@@ -17,7 +19,7 @@ import pytest
 
 import repro.bench.harness as harness
 from repro.bench.cli import main as bench_main
-from repro.bench.harness import checkpoint_path, run_sweep
+from repro.bench.harness import checkpoint_path, run_sweep, verify_journal
 from repro.bench.imb import ImbSettings
 from repro.errors import BenchmarkError
 from repro.mpi import stacks
@@ -29,16 +31,31 @@ SETTINGS = ImbSettings(max_iterations=1, warmups=0)
 N_CELLS = len(SIZES) * len(STACKS)
 
 
-def read_journal(path):
+def read_journal(path, expect_format=3):
     """Parse the JSONL journal into (header, cells) like the loader does."""
     lines = open(path).read().splitlines()
     head = json.loads(lines[0])
-    assert head["format"] == 2
+    assert head["format"] == expect_format
     cells = {}
     for line in lines[1:]:
         rec = json.loads(line)
+        if expect_format == 3:
+            assert "ck" in rec  # every format-3 record carries a checksum
         cells[rec["cell"]] = rec["t"]
     return head["header"], cells
+
+
+def downgrade_to_format2(path):
+    """Rewrite a format-3 journal as its byte-compatible format-2 ancestor."""
+    lines = open(path).read().splitlines()
+    head = json.loads(lines[0])
+    head["format"] = 2
+    out = [json.dumps(head, sort_keys=True)]
+    for line in lines[1:]:
+        rec = json.loads(line)
+        out.append(json.dumps({"cell": rec["cell"], "t": rec["t"]}))
+    with open(path, "w") as fh:
+        fh.write("\n".join(out) + "\n")
 
 
 @pytest.fixture
@@ -127,11 +144,32 @@ class TestResume:
         sweep(checkpoint=ckpt)
         assert counter.calls == 1
 
-    def test_bad_interior_line_is_a_typed_error(self, results_dir):
+    def test_bad_interior_line_skips_and_recomputes(
+            self, results_dir, monkeypatch):
+        # Format 3: a corrupt interior record is skipped-and-reported and
+        # exactly that cell recomputes — corruption never poisons the rest.
         ckpt = checkpoint_path("ckpt", "dancer")
         sweep(checkpoint=ckpt)
         raw = open(ckpt).read().splitlines(keepends=True)
         raw[1] = "{ not json\n"  # corruption *before* the final line
+        with open(ckpt, "w") as fh:
+            fh.writelines(raw)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        res = sweep(checkpoint=ckpt)
+        assert counter.calls == 1
+        assert res.stats.journal_skipped == 1
+        assert [e.category for e in res.stats.events] == ["journal.skip"]
+
+    def test_bad_interior_line_in_format2_is_a_typed_error(
+            self, results_dir):
+        # Format 2 has no checksums, so a malformed interior line keeps
+        # its historical strict contract: typed error, never a guess.
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        downgrade_to_format2(ckpt)
+        raw = open(ckpt).read().splitlines(keepends=True)
+        raw[1] = "{ not json\n"
         with open(ckpt, "w") as fh:
             fh.writelines(raw)
         with pytest.raises(BenchmarkError, match="corrupt"):
@@ -142,7 +180,7 @@ class TestMigration:
     def test_format1_checkpoint_is_migrated(self, results_dir, monkeypatch):
         # Build a complete journal, rewrite it in the retired format-1
         # layout (one JSON document), and resume: no cell re-runs and the
-        # file comes back as a format-2 journal.
+        # file comes back as a format-3 journal.
         ckpt = checkpoint_path("ckpt", "dancer")
         first = sweep(checkpoint=ckpt)
         header, cells = read_journal(ckpt)
@@ -156,6 +194,24 @@ class TestMigration:
         migrated_header, migrated_cells = read_journal(ckpt)
         assert migrated_header == header
         assert migrated_cells == cells
+
+    def test_format2_checkpoint_is_byte_compatible(
+            self, results_dir, monkeypatch):
+        # A pre-checksum format-2 journal resumes with zero re-runs and
+        # identical times (byte-compatible migration), and compaction
+        # upgrades it to format 3 in place.
+        ckpt = checkpoint_path("ckpt", "dancer")
+        first = sweep(checkpoint=ckpt)
+        downgrade_to_format2(ckpt)
+        header2, cells2 = read_journal(ckpt, expect_format=2)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        again = sweep(checkpoint=ckpt)
+        assert counter.calls == 0
+        assert [s.times for s in again.series] == [s.times for s in first.series]
+        header3, cells3 = read_journal(ckpt)
+        assert header3 == header2
+        assert cells3 == cells2
 
     def test_format1_header_mismatch_still_refused(self, results_dir):
         ckpt = checkpoint_path("ckpt", "dancer")
@@ -215,9 +271,102 @@ class TestValidation:
                 assert cells[f"{s.name}|{size}"] == t
 
 
+class TestInteriorCorruption:
+    """Satellite: resume after mid-file corruption (not just the torn tail).
+
+    Flip bytes inside interior journal records and assert skip-and-report
+    recovery recomputes exactly the damaged cells and the final CSV is
+    byte-identical to an undamaged run.
+    """
+
+    def _flip(self, path, lineno, col=20):
+        raw = open(path).read().splitlines(keepends=True)
+        line = raw[lineno]
+        ch = line[col]
+        new = "x" if ch != "x" else "y"
+        raw[lineno] = line[:col] + new + line[col + 1:]
+        with open(path, "w") as fh:
+            fh.writelines(raw)
+
+    def test_flipped_bytes_recompute_exactly_damaged_cells(
+            self, results_dir, monkeypatch):
+        baseline = sweep().to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        # Damage two interior records (lines 2 and 3 of header+4 records).
+        self._flip(ckpt, 1)
+        self._flip(ckpt, 2)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        res = sweep(checkpoint=ckpt)
+        assert counter.calls == 2  # exactly the two damaged cells re-ran
+        assert res.stats.journal_skipped == 2
+        assert res.stats.cells_resumed == N_CELLS - 2
+        resumed = res.to_csv(str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+    def test_checksum_catches_a_parseable_lie(self, results_dir,
+                                              monkeypatch):
+        # Flip one digit of a recorded time: the line still parses as
+        # JSON, but the checksum no longer matches — without it the
+        # resumed sweep would silently publish a wrong number.
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        raw = open(ckpt).read().splitlines(keepends=True)
+        rec = json.loads(raw[1])
+        rec["t"] = rec["t"] * 2  # plausible but wrong
+        raw[1] = json.dumps({"cell": rec["cell"], "t": rec["t"],
+                             "ck": rec["ck"]}) + "\n"
+        with open(ckpt, "w") as fh:
+            fh.writelines(raw)
+        counter = Interrupter(N_CELLS)
+        monkeypatch.setattr(harness, "imb_time", counter)
+        res = sweep(checkpoint=ckpt)
+        assert counter.calls == 1
+        assert res.stats.journal_skipped == 1
+
+    def test_verify_journal_reports_damage(self, results_dir):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        assert verify_journal(ckpt).ok
+        self._flip(ckpt, 1)
+        report = verify_journal(ckpt)
+        assert not report.ok
+        assert len(report.skipped) == 1
+        assert report.skipped[0].lineno == 2
+        assert len(report.cells) == N_CELLS - 1
+        assert "recompute" in report.render()
+
+
 class TestCli:
     def test_table1_rejects_resume(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
             bench_main(["table1", "--resume"])
         assert exc_info.value.code == 2
         assert "--resume applies to sweep experiments" in capsys.readouterr().err
+
+    def test_verify_journal_clean_exits_zero(self, results_dir, capsys):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        assert bench_main(["--verify-journal", str(ckpt)]) == 0
+        assert "every record intact" in capsys.readouterr().out
+
+    def test_verify_journal_damaged_exits_five(self, results_dir, capsys):
+        ckpt = checkpoint_path("ckpt", "dancer")
+        sweep(checkpoint=ckpt)
+        raw = open(ckpt).read().splitlines(keepends=True)
+        raw[1] = "{ not json\n"
+        with open(ckpt, "w") as fh:
+            fh.writelines(raw)
+        assert bench_main(["--verify-journal", str(ckpt)]) == 5
+        assert "corrupt line 2" in capsys.readouterr().out
+
+    def test_verify_journal_rejects_experiment_arg(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            bench_main(["fig4", "--verify-journal", "x.json"])
+        assert exc_info.value.code == 2
+
+    def test_missing_experiment_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            bench_main([])
+        assert exc_info.value.code == 2

@@ -11,6 +11,13 @@ the sweep's byte-identical output hinges on:
 - the merged result set is independent of completion order,
 - a worker death loses nothing and duplicates nothing (``fail`` requeues
   exactly the unrecorded remainder, first-wins drops late flushes).
+
+The death-driving suites construct their schedulers with
+``retry_limit=None``: they kill workers arbitrarily often, and the pure
+exactly-once core must hold through unbounded requeues.  The quarantine
+ladder that *bounds* those requeues (suspect isolation, typed
+:class:`CellAborted` after the retry budget) is covered separately by
+:class:`TestRetryBudget`.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bench.chunking import ChunkScheduler
+from repro.bench.chunking import CellAborted, ChunkScheduler
 from repro.errors import BenchmarkError
 
 #: pure per-cell result value — records are order-independent iff the
@@ -107,7 +114,7 @@ class TestExactlyOnce:
     @settings(max_examples=60)
     def test_worker_deaths_lose_and_duplicate_nothing(
             self, costs, workers, seed):
-        sched = ChunkScheduler(costs, workers=workers)
+        sched = ChunkScheduler(costs, workers=workers, retry_limit=None)
         yielded = drive(sched, random.Random(seed), die_p=0.4,
                         late_flush_p=0.6, workers=workers)
         # Exactly once out, first-wins in: requeued cells re-ran, late
@@ -122,7 +129,7 @@ class TestExactlyOnce:
             self, costs, workers, seed_a, seed_b):
         merged = []
         for seed in (seed_a, seed_b):
-            sched = ChunkScheduler(costs, workers=workers)
+            sched = ChunkScheduler(costs, workers=workers, retry_limit=None)
             drive(sched, random.Random(seed), die_p=0.3, late_flush_p=0.5,
                   workers=workers)
             merged.append(sched.results())
@@ -152,7 +159,8 @@ class TestChunkCarving:
         # Wildly wrong cost feedback may change chunk shapes, never the
         # exactly-once outcome.
         classes = ["even" if i % 2 == 0 else "odd" for i in range(len(costs))]
-        sched = ChunkScheduler(costs, workers=2, classes=classes)
+        sched = ChunkScheduler(costs, workers=2, classes=classes,
+                               retry_limit=None)
         yielded = drive(sched, random.Random(seed), die_p=0.2, workers=2)
         assert yielded == {c: 1 for c in range(len(costs))}
 
@@ -188,7 +196,10 @@ class TestApiContract:
             sched.record(-1, "x")
 
     def test_fail_requeues_only_unrecorded_cells(self):
-        sched = ChunkScheduler([1.0] * 4, workers=1, oversubscribe=1)
+        # retry_limit=None: with the ladder armed the survivors would be
+        # suspect and re-issue as singletons (see TestRetryBudget).
+        sched = ChunkScheduler([1.0] * 4, workers=1, oversubscribe=1,
+                               retry_limit=None)
         chunk = sched.next_chunk()
         assert chunk.cells == (0, 1, 2, 3)
         sched.record(0, value(0))
@@ -234,3 +245,144 @@ class TestApiContract:
             ChunkScheduler([1.0], workers=1, oversubscribe=0)
         with pytest.raises(BenchmarkError):
             ChunkScheduler([1.0, 2.0], workers=1, classes=["only-one"])
+        with pytest.raises(BenchmarkError):
+            ChunkScheduler([1.0], workers=1, retry_limit=0)
+        with pytest.raises(BenchmarkError):
+            ChunkScheduler([1.0], workers=1, retry_limit=-3)
+
+
+def drain_poison(sched: ChunkScheduler, poison: int,
+                 max_steps: int) -> tuple[int, bool]:
+    """Drive a scheduler whose ``poison`` cell kills every worker it
+    touches; healthy chunkmates are recorded before the death (the dying
+    worker got that far).  Returns (steps taken, converged)."""
+    steps = 0
+    while not sched.finished and steps < max_steps:
+        steps += 1
+        chunk = sched.next_chunk()
+        assert chunk is not None, "scheduler stalled"
+        if poison in chunk.cells:
+            for cell in chunk.cells:
+                if cell != poison:
+                    sched.record(cell, value(cell))
+            sched.fail(chunk.id)
+            sched.drain_aborted()
+        else:
+            for cell in chunk.cells:
+                sched.record(cell, value(cell))
+            sched.complete(chunk.id)
+    return steps, sched.finished
+
+
+class TestRetryBudget:
+    """The quarantine ladder: isolate suspects, abort at the budget.
+
+    The last test is the pre-PR failure demonstration the acceptance
+    criteria call for: with the ladder disabled (``retry_limit=None``,
+    the old executor's behaviour) a poison cell is requeued forever and
+    the sweep never converges; with any finite budget it converges in a
+    bounded number of dispatches, yielding a typed :class:`CellAborted`.
+    """
+
+    def test_failed_chunks_survivors_reissue_alone(self):
+        # One failed 4-cell chunk: all unrecorded cells become suspect
+        # and are re-issued as singletons, ahead of any fresh work.
+        sched = ChunkScheduler([1.0] * 6, workers=1, oversubscribe=1,
+                               retry_limit=3)
+        chunk = sched.next_chunk()
+        assert len(chunk.cells) > 1
+        sched.fail(chunk.id)
+        for cell in chunk.cells:
+            single = sched.next_chunk()
+            assert single.cells == (cell,)
+            sched.record(cell, value(cell))
+            sched.complete(single.id)
+
+    def test_completion_clears_the_suspect_mark(self):
+        # A suspect cell that completes sheds its mark: cells recorded via
+        # a successful chunk never linger in the suspect set, so the
+        # scheduler batches the remainder normally.
+        sched = ChunkScheduler([1.0] * 2, workers=1, oversubscribe=1,
+                               retry_limit=3)
+        chunk = sched.next_chunk()
+        sched.fail(chunk.id)  # both cells suspect now
+        first = sched.next_chunk()
+        assert first.cells == (0,)
+        sched.record(0, value(0))
+        sched.complete(first.id)
+        second = sched.next_chunk()
+        assert second.cells == (1,)
+        sched.record(1, value(1))
+        sched.complete(second.id)
+        assert sched.finished
+        assert sched.cells_aborted == 0
+
+    def test_quarantine_at_the_budget_is_the_cells_result(self):
+        sched = ChunkScheduler([1.0] * 3, workers=1, oversubscribe=1,
+                               retry_limit=2)
+        steps, converged = drain_poison(sched, poison=1, max_steps=50)
+        assert converged
+        assert sched.cells_aborted == 1
+        assert sched.chunks_quarantined == 1
+        assert sched.drain_aborted() == []  # drained during the drive
+        abort = sched.results()[1]
+        assert isinstance(abort, CellAborted)
+        assert abort.cell == 1
+        assert abort.deaths == 2
+        assert "2 worker death(s)" in abort.describe()
+        # Exactly-once still holds: the abort *is* the result, and the
+        # healthy cells carry real values.
+        assert sched.results()[0] == value(0)
+        assert sched.results()[2] == value(2)
+
+    def test_drain_aborted_yields_each_abort_once(self):
+        sched = ChunkScheduler([1.0] * 2, workers=1, oversubscribe=1,
+                               retry_limit=1)
+        chunk = sched.next_chunk()
+        sched.fail(chunk.id)  # budget 1: both cells quarantine instantly
+        drained = sched.drain_aborted()
+        assert [c for c, _ in drained] == [0, 1]
+        assert all(isinstance(a, CellAborted) for _, a in drained)
+        assert sched.drain_aborted() == []
+        assert sched.finished
+
+    def test_double_fail_raises_before_any_counter_moves(self):
+        sched = ChunkScheduler([1.0] * 2, workers=1, oversubscribe=1,
+                               retry_limit=2)
+        chunk = sched.next_chunk()
+        sched.fail(chunk.id)
+        snapshot = (sched.chunks_failed, sched.cells_requeued,
+                    sched.cells_aborted, sched.chunks_quarantined)
+        with pytest.raises(BenchmarkError):
+            sched.fail(chunk.id)  # late liveness poll racing a pipe EOF
+        assert (sched.chunks_failed, sched.cells_requeued,
+                sched.cells_aborted, sched.chunks_quarantined) == snapshot
+
+    @given(n=st.integers(2, 24), poison=st.integers(0, 23),
+           limit=st.integers(1, 4), workers=st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_any_finite_budget_converges_bounded(
+            self, n, poison, limit, workers):
+        poison %= n
+        sched = ChunkScheduler([1.0] * n, workers=workers,
+                               retry_limit=limit)
+        # Bound: every healthy dispatch retires >= 1 cell, the poison cell
+        # dies at most `limit` times, and each death splinters at most one
+        # chunk into singleton retries.
+        steps, converged = drain_poison(sched, poison,
+                                        max_steps=3 * n + 3 * limit + 3)
+        assert converged
+        assert sched.cells_aborted == 1
+        assert isinstance(sched.results()[poison], CellAborted)
+        assert sched.results()[poison].deaths == limit
+
+    def test_no_budget_requeues_forever(self):
+        # Pre-quarantine behaviour: the poison cell bounces between queue
+        # and a dying worker indefinitely — 200 dispatches in, the sweep
+        # still has not converged and never aborts anything.
+        sched = ChunkScheduler([1.0] * 4, workers=2, retry_limit=None)
+        steps, converged = drain_poison(sched, poison=2, max_steps=200)
+        assert not converged
+        assert steps == 200
+        assert sched.cells_aborted == 0
+        assert 2 not in sched.results()

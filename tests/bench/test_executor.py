@@ -39,11 +39,14 @@ def results_dir(tmp_path, monkeypatch):
     return tmp_path
 
 
-def sweep(parallel=1, checkpoint=None, fault_plan=None, experiment="par"):
+def sweep(parallel=1, checkpoint=None, fault_plan=None, experiment="par",
+          retry_limit=None):
+    kwargs = {} if retry_limit is None else {"retry_limit": retry_limit}
     return run_sweep(
         experiment=experiment, machine="dancer", operation="bcast", nprocs=4,
         stacks=STACKS, sizes=SIZES, settings=SETTINGS, reference="KNEM-Coll",
-        checkpoint=checkpoint, fault_plan=fault_plan, parallel=parallel)
+        checkpoint=checkpoint, fault_plan=fault_plan, parallel=parallel,
+        **kwargs)
 
 
 class TestEquivalence:
@@ -271,6 +274,95 @@ class TestWorkerDeath:
             harness, "imb_time", DieOnce(tmp_path / "died.flag", bad))
         par = sweep(parallel=2).to_csv(str(results_dir / "parallel.csv"))
         assert open(par, "rb").read() == open(baseline, "rb").read()
+
+
+class DieAlways:
+    """A poison cell: *every* attempt to measure it kills the worker."""
+
+    def __init__(self, bad_key):
+        self.bad_key = bad_key
+
+    def __call__(self, machine, stack, nprocs, op, size, settings,
+                 *args, **kwargs):
+        if f"{stack.name}|{size}" == self.bad_key:
+            os._exit(3)
+        return float(size)
+
+
+@needs_fork
+class TestQuarantine:
+    """The quarantine ladder end-to-end through real worker processes."""
+
+    def test_poison_cell_aborts_typed_and_the_sweep_completes(
+            self, results_dir, monkeypatch):
+        bad = f"{STACKS[0].name}|{SIZES[-1]}"
+        monkeypatch.setattr(harness, "imb_time", DieAlways(bad))
+        result = sweep(parallel=2, retry_limit=2)
+        # The sweep converged (no hang, no unbounded respawn loop) with a
+        # typed abort recorded for exactly the poison cell...
+        assert sorted(result.aborted) == [bad]
+        abort = result.aborted[bad]
+        assert abort.deaths == 2
+        assert "aborted after 2 worker death(s)" in abort.describe()
+        # ...exactly one respawn per budgeted death, no more...
+        assert result.stats.pool_respawns == 2
+        assert result.stats.cells_aborted == 1
+        assert result.stats.chunks_quarantined >= 1
+        assert "ABORTED: 1 cell(s) quarantined" in result.stats.render()
+        # ...and every healthy cell still landed with the right value,
+        # the aborted cell absent from its series (not NaN, not zero).
+        for s in result.series:
+            want = {size: float(size) for size in SIZES
+                    if f"{s.name}|{size}" != bad}
+            assert s.times == want
+
+    def test_quarantined_cell_recomputes_on_resume(
+            self, results_dir, monkeypatch):
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda m, stack, n, op, size, s: float(size))
+        baseline = sweep(parallel=1).to_csv(str(results_dir / "baseline.csv"))
+        ckpt = checkpoint_path("par", "dancer")
+        bad = f"{STACKS[-1].name}|{SIZES[0]}"
+        monkeypatch.setattr(harness, "imb_time", DieAlways(bad))
+        poisoned = sweep(parallel=2, checkpoint=ckpt, retry_limit=2)
+        assert sorted(poisoned.aborted) == [bad]
+        # The abort was never journaled as a measurement, so a later run
+        # with the poison gone recomputes exactly that cell and heals the
+        # sweep to the fault-free bytes.
+        assert bad not in open(ckpt).read()
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda m, stack, n, op, size, s: float(size))
+        resumed_result = sweep(parallel=1, checkpoint=ckpt)
+        assert resumed_result.stats.cells_run == 1
+        assert resumed_result.stats.cells_resumed == N_CELLS - 1
+        assert resumed_result.aborted == {}
+        resumed = resumed_result.to_csv(str(results_dir / "resumed.csv"))
+        assert open(resumed, "rb").read() == open(baseline, "rb").read()
+
+    def test_aborts_drive_the_cli_exit_code(self, results_dir, monkeypatch,
+                                            capsys):
+        from repro.bench.cli import (
+            EXIT_ABORTED,
+            EXIT_DEGRADED,
+            EXIT_OK,
+            _result_exit,
+        )
+        bad = f"{STACKS[0].name}|{SIZES[0]}"
+        monkeypatch.setattr(harness, "imb_time", DieAlways(bad))
+        result = sweep(parallel=2, retry_limit=1)
+        assert _result_exit(result, strict=False) == EXIT_ABORTED
+        assert "ABORTED par/dancer" in capsys.readouterr().err
+        monkeypatch.setattr(harness, "imb_time",
+                            lambda m, stack, n, op, size, s: float(size))
+        healthy = sweep(parallel=2)
+        assert _result_exit(healthy, strict=False) == EXIT_OK
+        assert _result_exit(healthy, strict=True) == EXIT_OK
+        # --strict flips degraded-KNEM sweeps (but never healthy ones) to
+        # a distinct nonzero exit.
+        healthy.stats.cells_degraded = 2
+        assert _result_exit(healthy, strict=False) == EXIT_OK
+        assert _result_exit(healthy, strict=True) == EXIT_DEGRADED
+        assert "degraded KNEM health" in capsys.readouterr().err
 
 
 class TestPoolStats:
