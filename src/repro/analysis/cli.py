@@ -148,9 +148,9 @@ def _run_verify(args: "argparse.Namespace", fmt: str,
 
 
 def _run_lint(fmt: str, baseline: "Baseline | None") -> int:
-    from repro.analysis.static import lint_paths
+    from repro.analysis.static import lint_paths, lint_tracked_bytecode
 
-    findings = lint_paths()
+    findings = lint_paths() + lint_tracked_bytecode()
     lines = [f.render() for f in findings]
     lines.append(f"lint: {len(findings)} finding(s) over src/repro")
     return _emit({"mode": "lint"}, findings, baseline, fmt, lines)

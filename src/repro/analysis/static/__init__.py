@@ -26,7 +26,8 @@ from repro.analysis.static.interleave import (
     explore_ops,
     interleaving_log10,
 )
-from repro.analysis.static.lint import lint_paths, lint_source
+from repro.analysis.static.lint import (lint_paths, lint_source,
+                                        lint_tracked_bytecode)
 from repro.analysis.static.schedules import (
     ScheduleModel,
     VerifyResult,
@@ -53,6 +54,7 @@ __all__ = [
     "interleaving_log10",
     "lint_paths",
     "lint_source",
+    "lint_tracked_bytecode",
     "ScheduleModel",
     "VerifyResult",
     "component_stack",

@@ -22,19 +22,28 @@ complementing the trace-time direction scan in
   caller or release it in a ``finally`` block, so abort paths cannot leak
   pinned regions.
 
+One repository-level rule rides along with the AST pass:
+
+- ``tracked-bytecode`` — no ``.pyc`` file or ``__pycache__`` entry may be
+  tracked by git.  Generated kernels (:mod:`repro.bench.kernels`) make
+  compiled artifacts easy to produce by accident, and a committed ``.pyc``
+  silently pins one host's bytecode over everyone else's source.
+
 :func:`lint_paths` walks files (default: everything under ``src/repro``);
-:func:`lint_source` checks one source string (used by tests).
+:func:`lint_source` checks one source string (used by tests);
+:func:`lint_tracked_bytecode` asks git about the working tree.
 """
 
 from __future__ import annotations
 
 import ast
+import subprocess
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.analysis.findings import ERROR, Finding
 
-__all__ = ["lint_paths", "lint_source"]
+__all__ = ["lint_paths", "lint_source", "lint_tracked_bytecode"]
 
 #: time/datetime attributes that read the host clock
 _WALL_CLOCK = {
@@ -316,3 +325,28 @@ def lint_paths(paths: "Optional[Iterable[Union[str, Path]]]" = None,
         findings.extend(lint_source(target.read_text(encoding="utf-8"),
                                     path=str(target)))
     return findings
+
+
+def lint_tracked_bytecode(root: "Union[str, Path, None]" = None,
+                          ) -> "list[Finding]":
+    """Flag git-tracked compiled artifacts (``.pyc`` / ``__pycache__``).
+
+    Asks ``git ls-files`` in ``root`` (default: the current directory).
+    Outside a git checkout — or without git on PATH — there is nothing to
+    check and the rule passes vacuously.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "-z", "--", "*.pyc", "*__pycache__*"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True, text=True, timeout=30, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return []
+    return [
+        Finding(checker="lint", category="tracked-bytecode", severity=ERROR,
+                message=f"{path}: compiled artifact tracked by git; "
+                        f"bytecode belongs to the build, not the history "
+                        f"(git rm --cached it and let .gitignore cover it)")
+        for path in sorted(p for p in out.split("\0") if p)
+    ]

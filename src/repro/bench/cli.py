@@ -127,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
              "report corrupt/torn records, without running anything "
              "(exit 5 when damage is found; --resume recovers it)")
     parser.add_argument(
+        "--profile", metavar="DIR", default=None,
+        help="run every sweep cell under cProfile and write one pstats "
+             "dump per cell into DIR (created if missing; inspect with "
+             "``python -m pstats``).  Forces serial execution: profiles "
+             "from forked pool workers would land in the wrong process")
+    parser.add_argument(
         "--verbose", action="store_true",
         help="print simulator counters (events, resumes, peak heap) and "
              "events/sec per experiment")
@@ -160,6 +166,17 @@ def main(argv: list[str] | None = None) -> int:
 
         os.environ["REPRO_VECTOR"] = "1"
         vector.set_enabled(True)
+    if args.profile is not None:
+        import os
+
+        from repro.bench import harness
+
+        os.makedirs(args.profile, exist_ok=True)
+        harness.set_profile_dir(args.profile)
+        if args.jobs != 1:
+            print("[profile] forcing --jobs 1 (per-cell profiles need "
+                  "in-process cells)", file=sys.stderr)
+            args.jobs = 1
 
     if args.experiment == "table1":
         if args.resume:

@@ -280,6 +280,27 @@ def set_journal_wrapper(fn: Optional[Callable[[IO[str]], IO[str]]]) -> None:
     _JOURNAL_WRAPPER = fn
 
 
+#: profiling hook: a directory path; when set, every serially-executed
+#: sweep cell is run under :mod:`cProfile` and its pstats dump written to
+#: ``<dir>/<experiment>_<machine>_<stack>_<size>.pstats``.  Set via the
+#: ``--profile`` CLI flag (which forces serial execution — per-cell
+#: profiles from forked pool workers would land in the wrong process).
+_PROFILE_DIR: Optional[str] = None
+
+
+def set_profile_dir(path: Optional[str]) -> None:
+    """Install (or clear, with ``None``) the per-cell profile directory."""
+    global _PROFILE_DIR
+    _PROFILE_DIR = path
+
+
+def _profile_path(experiment: str, machine: str, stack_name: str,
+                  size: int) -> str:
+    safe = "".join(c if c.isalnum() or c in "-._" else "-"
+                   for c in f"{experiment}_{machine}_{stack_name}_{size}")
+    return os.path.join(_PROFILE_DIR or ".", safe + ".pstats")
+
+
 def _record_checksum(key: str, t_literal: str) -> str:
     """Per-record integrity checksum of a format-3 journal line.
 
@@ -592,7 +613,17 @@ def run_sweep(
             stats.chunks_quarantined = pool_report.get("chunks_quarantined", 0)
         else:
             for stack, size in pending:
-                t = imb_time(machine, stack, nprocs, operation, size, settings)
+                if _PROFILE_DIR is not None:
+                    import cProfile
+
+                    prof = cProfile.Profile()
+                    t = prof.runcall(imb_time, machine, stack, nprocs,
+                                     operation, size, settings)
+                    prof.dump_stats(_profile_path(
+                        experiment, machine, stack.name, size))
+                else:
+                    t = imb_time(machine, stack, nprocs, operation, size,
+                                 settings)
                 key = f"{stack.name}|{size}"
                 cells[key] = t
                 stats.add_cell(imb.consume_cell_stats())

@@ -23,7 +23,8 @@ loading a controller twice, and cross-board traffic crowding IG's interlink.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional
+from bisect import insort
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -31,7 +32,8 @@ from repro import vector as _vector
 from repro.errors import SimulationError
 from repro.simtime.core import Event, Simulator
 
-__all__ = ["Resource", "Flow", "FlowNetwork"]
+__all__ = ["Resource", "Flow", "FlowNetwork",
+           "install_waterfill_kernel", "installed_waterfill_kernel"]
 
 #: Bytes below which a flow is considered finished.  A quarter byte is far
 #: below physical relevance but large enough that the completion horizon
@@ -44,6 +46,25 @@ _EPS_RATE = 1e-3
 def _flow_id(f: "Flow") -> int:
     """Sort key for deterministic flow iteration (creation order)."""
     return f.id
+
+
+#: Optional replacement for :meth:`FlowNetwork._assign_rates_vec`, installed
+#: by the measured-kernel machinery (:mod:`repro.bench.kernels`).  A kernel
+#: is ``fn(net, ordered)`` operating on the network's resident vector state;
+#: ``None`` (the default, and the fallback when receipts are stale) keeps
+#: the generic resident-numpy waterfilling.
+_WATERFILL_KERNEL: Optional[Callable[["FlowNetwork", list], None]] = None
+
+
+def install_waterfill_kernel(
+        fn: Optional[Callable[["FlowNetwork", list], None]]) -> None:
+    """Install a generated waterfill kernel (``None`` restores generic)."""
+    global _WATERFILL_KERNEL
+    _WATERFILL_KERNEL = fn
+
+
+def installed_waterfill_kernel() -> Optional[Callable]:
+    return _WATERFILL_KERNEL
 
 
 def _row_sum(rows: "np.ndarray") -> "np.ndarray":
@@ -182,6 +203,32 @@ class FlowNetwork:
         #: the differential tests assert the intended path actually ran)
         self.scalar_assignments = 0
         self.vector_assignments = 0
+        # --- resident vector state (see _vec_add/_vec_remove) ---------------
+        # Slot-row incidence matrices held between rebalances: each active
+        # flow owns a row (recycled through a freelist), each resource ever
+        # seen owns a column in global first-seen order.  A rebalance
+        # gathers rows in flow-id order instead of rebuilding the matrices
+        # from dicts per call.  Column order only influences np.argmin
+        # tie-breaks, which only pick the *label* of the bottleneck; every
+        # saturated resource freezes through the sat-threshold mask
+        # regardless, so results stay bitwise-identical to the scalar path
+        # (the differential battery in tests/hardware/test_vector_flows.py
+        # holds this to account).
+        self._ordered: list[Flow] = []     # id-ordered mirror of _active
+        self._vslot: dict[Flow, int] = {}  # flow -> row slot
+        self._vfree: list[int] = []        # recycled row slots
+        self._vnext_row = 0                # next never-used row slot
+        self._vres_index: dict[Resource, int] = {}  # resource -> column
+        self._vres_list: list[Resource] = []
+        self._vW = np.zeros((0, 0))        # slot-row weight matrix
+        self._vS = np.zeros((0, 0))        # slot-row stream matrix
+        self._vcaps = np.zeros(0)          # per-column capacity
+        self._vknee = np.zeros(0)          # per-column contention knee
+        self._valpha = np.zeros(0)         # per-column contention alpha
+        self._vthresh = np.zeros(0)        # per-column saturation threshold
+        #: resident state mirrors _active (goes stale when flows change
+        #: while ``vectorized`` is off; the next vector rebalance rebuilds)
+        self._vclean = True
 
     # -- public API ---------------------------------------------------------
     def transfer(
@@ -222,6 +269,10 @@ class FlowNetwork:
         self._active.add(flow)
         for res in flow.weights:
             res.flows.add(flow)
+        if self.vectorized:
+            self._vec_add(flow)
+        else:
+            self._vclean = False
         # Defer the (expensive) reassignment to a zero-delay event so a burst
         # of same-instant arrivals — e.g. every leaf of a broadcast tree
         # starting its segment copy together — pays for one rebalance.
@@ -238,7 +289,106 @@ class FlowNetwork:
         self._active.discard(flow)
         for res in flow.weights:
             res.flows.discard(flow)
+        if self.vectorized:
+            self._vec_remove(flow)
+        else:
+            self._vclean = False
         self.completed_flows += 1
+
+    # -- resident vector state ----------------------------------------------
+    def _vcol_add(self, res: Resource) -> None:
+        """Give ``res`` a column (global first-seen order, grown amortized)."""
+        j = len(self._vres_list)
+        if j >= self._vcaps.shape[0]:
+            new_cols = max(16, 2 * j)
+            rows = self._vW.shape[0]
+            for attr in ("_vW", "_vS"):
+                grown = np.zeros((rows, new_cols))
+                old = getattr(self, attr)
+                grown[:, :old.shape[1]] = old
+                setattr(self, attr, grown)
+            for attr in ("_vcaps", "_vknee", "_valpha", "_vthresh"):
+                grown = np.zeros(new_cols)
+                old = getattr(self, attr)
+                grown[:old.shape[0]] = old
+                setattr(self, attr, grown)
+        self._vres_index[res] = j
+        self._vres_list.append(res)
+        self._vcaps[j] = res.capacity
+        self._vknee[j] = res.contention_knee
+        self._valpha[j] = res.contention_alpha
+        self._vthresh[j] = _EPS_RATE * max(1.0, res.capacity / 1e9)
+
+    def _vrow_alloc(self) -> int:
+        """Hand out a zeroed row slot (freelist first, then amortized growth)."""
+        free = self._vfree
+        if free:
+            return free.pop()
+        slot = self._vnext_row
+        self._vnext_row += 1
+        if slot >= self._vW.shape[0]:
+            new_rows = max(16, 2 * (slot + 1))
+            cols = self._vW.shape[1]
+            for attr in ("_vW", "_vS"):
+                grown = np.zeros((new_rows, cols))
+                old = getattr(self, attr)
+                grown[:old.shape[0]] = old
+                setattr(self, attr, grown)
+        return slot
+
+    def _vec_add(self, flow: Flow) -> None:
+        """Incremental resident-state update for one admitted flow."""
+        if not self._vclean:
+            return  # stale; the next vector rebalance rebuilds in bulk
+        index = self._vres_index
+        for r in flow.weights:
+            if r not in index:
+                self._vcol_add(r)
+        slot = self._vrow_alloc()
+        self._vslot[flow] = slot
+        row_w = self._vW[slot]
+        row_s = self._vS[slot]
+        for r, w in flow.weights.items():
+            j = index[r]
+            row_w[j] = w
+            row_s[j] = flow.streams_on(r)
+        # Flow ids rise monotonically, so admits append in id order — except
+        # latency-delayed admits, which can arrive out of creation order.
+        ordered = self._ordered
+        if not ordered or ordered[-1].id < flow.id:
+            ordered.append(flow)
+        else:
+            insort(ordered, flow, key=_flow_id)
+
+    def _vec_remove(self, flow: Flow) -> None:
+        """Incremental resident-state update for one retired flow."""
+        if not self._vclean:
+            return
+        slot = self._vslot.pop(flow, None)
+        if slot is None:
+            # Admitted while the resident state was stale or vectorized was
+            # off: the mirror is inconsistent — rebuild at next rebalance.
+            self._vclean = False
+            return
+        self._vW[slot].fill(0.0)
+        self._vS[slot].fill(0.0)
+        self._vfree.append(slot)
+        self._ordered.remove(flow)
+
+    def _vec_sync(self) -> list[Flow]:
+        """Return the id-ordered active flows, rebuilding resident state
+        if flow arrivals/departures happened while it was stale."""
+        if not self._vclean:
+            self._vslot.clear()
+            self._vfree.clear()
+            self._vnext_row = 0
+            self._vW[:, :] = 0.0
+            self._vS[:, :] = 0.0
+            self._ordered = []
+            self._vclean = True
+            for flow in sorted(self._active, key=_flow_id):
+                self._vec_add(flow)
+        return self._ordered
 
     def _advance(self) -> None:
         """Account bytes transferred since the last state change."""
@@ -254,7 +404,8 @@ class FlowNetwork:
             # exact 0.0).  Only ``completed_bytes`` — a tolerance-compared
             # lifetime stat whose scalar accumulation order is already
             # address-dependent — is summed in id order instead.
-            ordered = sorted(active, key=_flow_id)
+            ordered = (self._ordered if self._vclean
+                       else sorted(active, key=_flow_id))
             count = len(ordered)
             moved = np.fromiter((f.remaining for f in ordered), np.float64,
                                 count=count)
@@ -282,7 +433,12 @@ class FlowNetwork:
             self._retire(flow)
         if self.vectorized and len(self._active) >= self.vector_min_flows:
             self.vector_assignments += 1
-            self._assign_rates_vec(sorted(self._active, key=_flow_id))
+            ordered = self._vec_sync()
+            kernel = _WATERFILL_KERNEL
+            if kernel is not None:
+                kernel(self, ordered)
+            else:
+                self._assign_rates_vec(ordered)
         else:
             self.scalar_assignments += 1
             self._assign_rates(self._active)
@@ -410,33 +566,28 @@ class FlowNetwork:
         n = len(ordered)
         if n == 0:
             return
-        # First-seen resource order over id-ordered flows: the exact
-        # insertion order of the scalar path's bookkeeping dicts.
-        res_index: dict[Resource, int] = {}
+        # Gather the resident slot rows in flow-id order.  Columns beyond
+        # the current flows' resources carry all-zero weight sums and are
+        # masked off by ``live`` below; their ``+0.0`` contributions to the
+        # row sums are bitwise-neutral (weights are positive, so no partial
+        # sum is ever ``-0.0``).
+        n_res = len(self._vres_list)
+        slots = self._vslot
+        idx = [slots[f] for f in ordered]
+        weight_rows = self._vW[idx][:, :n_res]
+        stream_rows = self._vS[idx][:, :n_res]
         for f in ordered:
-            for r in f.weights:
-                if r not in res_index:
-                    res_index[r] = len(res_index)
-        res_list = list(res_index)
-        n_res = len(res_list)
-        weight_rows = np.zeros((n, n_res))
-        stream_rows = np.zeros((n, n_res))
-        for i, f in enumerate(ordered):
             f.rate = 0.0
-            row_w = weight_rows[i]
-            row_s = stream_rows[i]
-            for r, w in f.weights.items():
-                j = res_index[r]
-                row_w[j] = w
-                row_s[j] = f.streams_on(r)
         wsum = _row_sum(weight_rows)
-        residual = np.fromiter(
-            (r.effective_capacity(int(round(s)))
-             for r, s in zip(res_list, _row_sum(stream_rows).tolist())),
-            np.float64, count=n_res)
-        sat_thresh = np.fromiter(
-            (_EPS_RATE * max(1.0, r.capacity / 1e9) for r in res_list),
-            np.float64, count=n_res)
+        # Vectorized effective capacity, elementwise IEEE-equal to the
+        # scalar Resource.effective_capacity: the stream counts are exact
+        # small integers in float (np.round is the same half-to-even as
+        # round()), the denominator is exactly 1.0 whenever alpha is zero
+        # or the count is at/below the knee, and x / 1.0 == x bitwise.
+        excess = np.maximum(np.round(_row_sum(stream_rows)) - self._vknee[:n_res],
+                            0.0)
+        residual = self._vcaps[:n_res] / (1.0 + self._valpha[:n_res] * excess)
+        sat_thresh = self._vthresh[:n_res]
 
         demands = [f.demand for f in ordered]
         # Stable argsort ties break by index (= creation id), matching the

@@ -529,11 +529,11 @@ class Job:
         world.arm_timed_rules()
         try:
             if deadline is not None:
-                # Watchdog loop: process events up to the deadline without
+                # Watchdog: process events up to the deadline without
                 # jumping ``now`` forward when the run completes early.
-                horizon = start + deadline
-                while sim._heap and sim._heap[0][0] <= horizon:
-                    sim.step()
+                # run_horizon drains whole cohorts in vector mode, so a
+                # deadline-armed run keeps the batched dispatch rate.
+                sim.run_horizon(start + deadline)
                 stuck = [h for h in handles if h.is_alive]
                 if stuck:
                     raise self._watchdog_timeout(deadline, stuck)
@@ -614,7 +614,8 @@ class Job:
         for p in sorted(stuck, key=lambda p: p.name):
             target = p.waiting_on
             waiting[p.name] = ("" if target is None
-                              else target.name or type(target).__name__)
+                              else getattr(target, "name", "")
+                              or type(target).__name__)
         tr = self.machine.tracer
         if tr.enabled:
             tr.emit("watchdog.timeout", deadline=deadline,

@@ -119,12 +119,55 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        # Re-arm: inline the common (unprocessed target) add_callback path
-        # with the cached bound method; fall back for already-processed
-        # targets, which need the zero-delay proxy dispatch.
+        # Re-arm: the common first-waiter case takes the dedicated _pwait
+        # slot (the dispatch loops fire it before the callbacks list, which
+        # is registration order because it is only taken while the list is
+        # empty); otherwise inline add_callback with the cached bound
+        # method; already-processed targets need the zero-delay proxy.
         cbs = target.callbacks
         if cbs is not None:
-            cbs.append(self._resume_cb)
+            if cbs:
+                cbs.append(self._resume_cb)
+            elif target._pwait is None:
+                target._pwait = self
+            else:
+                # Second same-instant waiter on an event whose callbacks
+                # may be the shared _NO_CBS sentinel: copy-on-write.
+                target.callbacks = [self._resume_cb]
+        else:
+            target.add_callback(self._resume_cb)
+
+    def _rearm(self, target: Any) -> None:
+        """Validate and wait on the event a generator just yielded.
+
+        The slow tail of :meth:`_resume`, split out so the fused cohort
+        dispatch (Simulator._run_cohort) can enter generators directly and
+        only pay for validation when the yielded target is not a
+        same-simulator Timeout.
+        """
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name} yielded an event from another simulator")
+            )
+            return
+        self._waiting_on = target
+        cbs = target.callbacks
+        if cbs is not None:
+            if cbs:
+                cbs.append(self._resume_cb)
+            elif target._pwait is None:
+                target._pwait = self
+            else:
+                target.callbacks = [self._resume_cb]
         else:
             target.add_callback(self._resume_cb)
 

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import subprocess
 import textwrap
 
-from repro.analysis.static import lint_paths, lint_source
+from repro.analysis.static import (lint_paths, lint_source,
+                                   lint_tracked_bytecode)
 
 
 def _lint(code: str, path: str = "src/repro/fake/mod.py"):
@@ -156,3 +158,36 @@ class TestShippedSources:
     def test_syntax_errors_are_findings(self):
         findings = lint_source("def broken(:\n", path="x.py")
         assert _categories(findings) == {"syntax-error"}
+
+
+class TestTrackedBytecode:
+    def _git(self, *args, cwd):
+        subprocess.run(["git", *args], cwd=cwd, check=True,
+                       capture_output=True,
+                       env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                            "GIT_COMMITTER_NAME": "t",
+                            "GIT_COMMITTER_EMAIL": "t@t",
+                            "HOME": str(cwd), "PATH": "/usr/bin:/bin"})
+
+    def test_tracked_pyc_is_flagged(self, tmp_path):
+        self._git("init", "-q", cwd=tmp_path)
+        pyc = tmp_path / "__pycache__" / "mod.cpython-311.pyc"
+        pyc.parent.mkdir()
+        pyc.write_bytes(b"\x00bytecode")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        self._git("add", "-f", ".", cwd=tmp_path)
+        findings = lint_tracked_bytecode(tmp_path)
+        assert _categories(findings) == {"tracked-bytecode"}
+        assert any("mod.cpython-311.pyc" in f.message for f in findings)
+
+    def test_clean_repo_passes(self, tmp_path):
+        self._git("init", "-q", cwd=tmp_path)
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        self._git("add", ".", cwd=tmp_path)
+        assert lint_tracked_bytecode(tmp_path) == []
+
+    def test_outside_a_checkout_is_vacuously_clean(self, tmp_path):
+        assert lint_tracked_bytecode(tmp_path) == []
+
+    def test_this_repository_tracks_no_bytecode(self):
+        assert lint_tracked_bytecode() == []

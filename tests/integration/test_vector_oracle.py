@@ -13,10 +13,15 @@ ran underneath.
 from __future__ import annotations
 
 import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import vector
 from repro.analysis.static import SingleCopySanitizer, verify_schedule
 from repro.bench.imb import ImbSettings, consume_cell_stats, imb_time
+from repro.errors import RankFailed
+from repro.faults import FaultPlan
 from repro.mpi import Job, Machine, stacks
 from repro.units import KiB
 
@@ -63,6 +68,16 @@ def canonical(records):
             fields[key] = val
         out.append((rec.time, rec.category, tuple(sorted(fields.items()))))
     return out
+
+
+def _looping_program(proc, count):
+    """Repeated broadcasts — a long-lived job for a timed crash to hit."""
+    buf = proc.alloc_array(count, "u1")
+    if proc.rank == 0:
+        buf.array[:] = (np.arange(count) % 251).astype(np.uint8)
+    for _ in range(50):
+        yield from proc.comm.bcast(buf.sim, 0, count, root=0)
+    return (proc.rank, True)
 
 
 def run_traced_job(spec, vectorized: bool):
@@ -117,6 +132,48 @@ class TestImbCellOracle:
             v_stats = consume_cell_stats()
         assert v_time == s_time  # bitwise: this value prints into the CSV
         assert v_stats == s_stats
+
+
+class TestHeterogeneousJobOracle:
+    """Mixed-kind cohorts at the full-job level: a timed rank crash (a
+    timer-lane deadline), in-flight flow completions (heap events), and
+    the survivors' shrink-and-retry all collide inside one simulation —
+    the trace stream and every counter must still match the scalar loop
+    bit for bit on each paper machine."""
+
+    @given(victim=st.integers(1, NPROCS - 1),
+           crash_at=st.sampled_from([5e-5, 1e-4, 2e-4]))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_timed_crash_job_matches_scalar(self, paper_machine, victim,
+                                            crash_at):
+        def run(vectorized: bool):
+            machine = Machine.build(paper_machine, trace=True,
+                                    vector=vectorized)
+            machine.mem.network.vector_min_flows = 0
+            machine.arm_faults(
+                FaultPlan.crash(core=victim, at_time=crash_at).fork())
+            job = Job(machine, nprocs=NPROCS, stack=stacks.KNEM_COLL)
+            with pytest.raises(RankFailed) as exc_info:
+                job.run(_looping_program, COUNT)
+            err = exc_info.value
+            return machine, (err.rank, err.op), dict(job.world.dead)
+
+        s_machine, s_err, s_dead = run(False)
+        v_machine, v_err, v_dead = run(True)
+        assert v_err == s_err
+        assert v_dead == s_dead
+        assert canonical(v_machine.tracer.records) == \
+            canonical(s_machine.tracer.records)
+        assert v_machine.tracer.counters == s_machine.tracer.counters
+        assert v_machine.sim.events_processed == s_machine.sim.events_processed
+        assert v_machine.sim.process_resumes == s_machine.sim.process_resumes
+        assert v_machine.sim.peak_heap == s_machine.sim.peak_heap
+        assert v_machine.sim.now == s_machine.sim.now
+        # the crash actually fired, and the vector run actually vectorized
+        assert s_machine.fault_plan.injected.get("rank.crash") == 1
+        assert v_machine.sim.cohorts_dispatched >= 1
+        assert v_machine.mem.network.vector_assignments > 0
 
 
 class TestAnalyzerOracle:

@@ -164,6 +164,157 @@ class TestCohortFailures:
         assert "stuck" in str(err.value)
 
 
+class TestHeterogeneousCohorts:
+    """Same-instant cohorts mixing event *kinds*.
+
+    The fused dispatch splits a cohort into a timer-lane part (fresh
+    timeouts) and a heap part (signalled events, process completions) and
+    merges them by sequence number; these properties drive all the kinds
+    into the same instants and demand the scalar loop's observable
+    behavior — log order, clock values, counters — bit for bit.
+    """
+
+    @given(actors=st.lists(st.tuples(
+        st.sampled_from(["timer", "signal", "crash"]),
+        st.integers(0, 3),      # quantized start instant
+        st.integers(1, 4)),     # chain hops (timers) / payload (others)
+        min_size=2, max_size=14))
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_kind_cohorts_match_scalar(self, actors):
+        # Timer chains (the timer lane), events succeeded by peers (the
+        # heap), and crashing processes caught by watchers (failure
+        # propagation) all collide at the same quantized instants.
+        def run(cohort: bool):
+            sim = Simulator(cohort=cohort)
+            log = []
+            for aid, (kind, start, hops) in enumerate(actors):
+                if kind == "timer":
+                    def chain(aid=aid, start=start, hops=hops):
+                        yield sim.timeout(float(start))
+                        for h in range(hops):
+                            log.append(("t", aid, h, sim.now))
+                            yield sim.timeout(0.5)
+                    sim.process(chain())
+                elif kind == "signal":
+                    ev = sim.event(name=f"sig{aid}")
+
+                    def poker(ev=ev, start=start, aid=aid):
+                        yield sim.timeout(float(start))
+                        ev.succeed(aid)
+
+                    def waiter(ev=ev, aid=aid):
+                        got = yield ev
+                        log.append(("s", aid, got, sim.now))
+
+                    sim.process(poker())
+                    sim.process(waiter())
+                else:
+                    def crasher(aid=aid, start=start):
+                        yield sim.timeout(float(start))
+                        raise RuntimeError(f"crash-{aid}")
+
+                    victim = sim.process(crasher(), name=f"victim{aid}")
+
+                    def watcher(victim=victim, aid=aid):
+                        try:
+                            yield victim
+                        except RuntimeError as err:
+                            log.append(("c", aid, str(err), sim.now))
+
+                    sim.process(watcher())
+            sim.run()
+            return log, sim.now, sim.stats
+
+        assert run(False) == run(True)
+
+    @given(timers=st.lists(st.tuples(st.integers(0, 2), st.integers(1, 4)),
+                           min_size=1, max_size=8),
+           crash_at=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_unwatched_crash_mid_cohort_leaves_identical_state(
+            self, timers, crash_at):
+        # An *unwatched* process failure surfaces from run() mid-cohort;
+        # the queue it leaves behind (requeued survivors included) and a
+        # follow-up run() must match the scalar loop exactly.
+        def run(cohort: bool):
+            sim = Simulator(cohort=cohort)
+            log = []
+
+            def chain(cid, start, hops):
+                yield sim.timeout(float(start))
+                for h in range(hops):
+                    log.append((cid, h, sim.now))
+                    yield sim.timeout(0.5)
+
+            def crasher():
+                yield sim.timeout(float(crash_at))
+                raise RuntimeError("boom")
+
+            for cid, (start, hops) in enumerate(timers):
+                sim.process(chain(cid, start, hops))
+            sim.process(crasher(), name="crasher")
+            with pytest.raises(RuntimeError, match="boom"):
+                sim.run()
+            mid = (list(log), sim.now, sim.queue_size, sim.stats)
+            sim.run()  # survivors drain; must complete identically
+            return mid, log, sim.now, sim.stats
+
+        assert run(False) == run(True)
+
+    @given(flows=st.lists(st.tuples(
+        st.integers(1, 4),       # nbytes (integer -> half-step completions)
+        st.integers(0, 2),       # start instant
+        st.booleans()),          # also ride the shared resource
+        min_size=1, max_size=6),
+        timers=st.lists(st.tuples(st.integers(0, 2), st.integers(1, 4)),
+                        min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_flow_completions_mixed_with_timers_match_scalar(
+            self, flows, timers):
+        # Real flow-network completions (vectorized waterfilling feeding
+        # heap events) landing at the same instants as timer-lane chains.
+        from repro.hardware.flows import FlowNetwork, Resource
+
+        def run(cohort: bool):
+            sim = Simulator(cohort=cohort)
+            net = FlowNetwork(sim, vectorized=cohort)
+            net.vector_min_flows = 0
+            shared = Resource("shared", capacity=4.0)
+            log = []
+
+            def one_flow(fid, nbytes, start, ride_shared):
+                own = Resource(f"own{fid}", capacity=2.0)
+                weights = {own: 1.0}
+                if ride_shared:
+                    weights[shared] = 1.0
+                yield sim.timeout(float(start))
+                yield net.transfer(float(nbytes), demand=100.0,
+                                   weights=weights, label=f"f{fid}")
+                log.append(("f", fid, sim.now))
+
+            def chain(cid, start, hops):
+                yield sim.timeout(float(start))
+                for h in range(hops):
+                    log.append(("t", cid, h, sim.now))
+                    yield sim.timeout(0.5)
+
+            for fid, (nbytes, start, ride) in enumerate(flows):
+                sim.process(one_flow(fid, nbytes, start, ride))
+            for cid, (start, hops) in enumerate(timers):
+                sim.process(chain(cid, start, hops))
+            sim.run()
+            return (log, sim.now, net.completed_flows,
+                    sim.stats), net.completed_bytes
+
+        scalar, s_bytes = run(False)
+        vectored, v_bytes = run(True)
+        assert vectored == scalar
+        # completed_bytes is the one tolerance-compared stat: its scalar
+        # accumulation order is address-dependent, so the vector path sums
+        # it in id order instead (see FlowNetwork._advance).
+        assert v_bytes == pytest.approx(s_bytes)
+
+
 class TestCohortFlag:
     def test_default_follows_process_flag(self):
         with vector.forced(True):
