@@ -1,0 +1,176 @@
+"""Sweep-service wall-clock benchmark: warm-cache repeat vs a cold run.
+
+Measures the amortization claim the sweep service exists for — three
+end-to-end CLI invocations of one paper experiment, each a real
+subprocess so interpreter start-up and import cost are charged to every
+leg identically:
+
+- **cold** — ``python -m repro.bench fig5`` computing in-process, the
+  baseline everyone runs today;
+- **served-cold** — the same experiment via ``--connect`` against a
+  fresh server (empty cache: the server computes every cell, so this
+  leg prices the protocol + journaling overhead);
+- **served-warm** — the same experiment again against the now-warm
+  server: every cell answers from the content-addressed cache.
+
+The acceptance gate (``--check-speedup``) asserts the warm repeat is at
+least ``--min-speedup`` (default 10) times faster than the cold run
+*and* that all three CSVs are byte-identical — a cache that answered
+fast but wrong must fail the benchmark, not pass it.  The server is
+shut down with SIGTERM and must exit 0 (the clean-shutdown path is part
+of what is being measured).
+
+Standalone (how ``BENCH_service.json`` is recorded)::
+
+    python benchmarks/bench_service.py --scale full \
+        --output BENCH_service.json --check-speedup
+    python benchmarks/bench_service.py --scale smoke   # quick look, no gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+EXPERIMENT = ["fig5", "--machine", "dancer", "--csv"]
+CSV_NAME = "fig5_dancer.csv"
+
+
+def _env(results_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["REPRO_RESULTS_DIR"] = results_dir
+    return env
+
+
+def _run_client(results_dir: str, scale: str, connect: str | None) -> float:
+    cmd = [sys.executable, "-m", "repro.bench", *EXPERIMENT,
+           "--scale", scale]
+    if connect:
+        cmd += ["--connect", connect]
+    t0 = time.perf_counter()
+    subprocess.run(cmd, env=_env(results_dir), check=True,
+                   stdout=subprocess.DEVNULL)
+    return time.perf_counter() - t0
+
+
+def _start_server(workdir: str, jobs: int) -> tuple[subprocess.Popen, str]:
+    cache = os.path.join(workdir, "cache.checkpoint.json")
+    log = os.path.join(workdir, "server.log")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.bench", "--serve", "127.0.0.1:0",
+         "--jobs", str(jobs), "--cache", cache, "--server-log", log],
+        env=_env(workdir), stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (\S+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"server never announced an address: {line!r}")
+    return proc, match.group(1)
+
+
+def measure(scale: str, jobs: int, keep_log: str | None = None) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        dirs = {leg: os.path.join(tmp, leg)
+                for leg in ("cold", "served_cold", "served_warm")}
+        for d in dirs.values():
+            os.makedirs(d)
+
+        cold = _run_client(dirs["cold"], scale, None)
+
+        server, address = _start_server(tmp, jobs)
+        try:
+            served_cold = _run_client(dirs["served_cold"], scale, address)
+            served_warm = _run_client(dirs["served_warm"], scale, address)
+            from repro.service.client import ServiceClient
+
+            counters = ServiceClient(address).ping()
+        finally:
+            server.send_signal(signal.SIGTERM)
+            server_exit = server.wait(timeout=60)
+
+        if keep_log:
+            shutil.copyfile(os.path.join(tmp, "server.log"), keep_log)
+        blobs = {leg: open(os.path.join(d, CSV_NAME), "rb").read()
+                 for leg, d in dirs.items()}
+        return {
+            "scale": scale,
+            "server_jobs": jobs,
+            "cold_seconds": round(cold, 3),
+            "served_cold_seconds": round(served_cold, 3),
+            "served_warm_seconds": round(served_warm, 3),
+            "speedup_warm_vs_cold": round(cold / served_warm, 2),
+            "byte_identical": len(set(blobs.values())) == 1,
+            "server_exit": server_exit,
+            "server_counters": counters,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("full", "bench", "smoke"),
+                        default="full",
+                        help="experiment scale (default: full — the "
+                             "committed number; smoke for a quick look)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="server warm-pool size (0 = one per CPU)")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="write the measurement payload as JSON")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help="fail unless the warm repeat beats the cold "
+                             "run by --min-speedup and CSVs are identical")
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--keep-log", metavar="PATH", default=None,
+                        help="copy the server's log file to PATH (CI "
+                             "uploads it as an artifact)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "version": 1,
+        "host_cpus": os.cpu_count(),
+        "python": sys.version.split()[0],
+        **measure(args.scale, args.jobs, args.keep_log),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if not payload["byte_identical"]:
+        print("FAIL: served CSVs diverge from the cold run", file=sys.stderr)
+        return 1
+    if payload["server_exit"] != 0:
+        print(f"FAIL: server exited {payload['server_exit']} on SIGTERM",
+              file=sys.stderr)
+        return 1
+    if payload["server_counters"]["cache_hits"] == 0:
+        print("FAIL: the warm repeat produced zero cache hits",
+              file=sys.stderr)
+        return 1
+    if args.check_speedup:
+        got = payload["speedup_warm_vs_cold"]
+        if got < args.min_speedup:
+            print(f"FAIL: warm-cache speedup {got}x < "
+                  f"{args.min_speedup}x", file=sys.stderr)
+            return 1
+        print(f"speedup gate ok: {got}x >= {args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

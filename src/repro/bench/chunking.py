@@ -98,7 +98,8 @@ class ChunkScheduler:
     def __init__(self, costs: Sequence[float], workers: int,
                  classes: Optional[Sequence[Hashable]] = None,
                  oversubscribe: int = 4,
-                 retry_limit: Optional[int] = DEFAULT_RETRY_LIMIT):
+                 retry_limit: Optional[int] = DEFAULT_RETRY_LIMIT,
+                 chunk_base: int = 0):
         if workers < 1:
             raise BenchmarkError(f"chunk scheduler needs >= 1 worker, got {workers}")
         if oversubscribe < 1:
@@ -122,7 +123,9 @@ class ChunkScheduler:
         self._queued: deque[int] = deque(range(n))
         self._outstanding: dict[int, tuple[int, ...]] = {}
         self._results: dict[int, Any] = {}
-        self._next_chunk_id = 0
+        # chunk_base offsets ids so schedulers sharing one persistent
+        # pool (the sweep service) never issue the same chunk id twice.
+        self._next_chunk_id = chunk_base
         #: worker deaths charged to each cell (unrecorded when its chunk
         #: failed); reaching ``retry_limit`` quarantines the cell.
         self._deaths: dict[int, int] = {}

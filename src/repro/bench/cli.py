@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench table1 --machine zoot --sample 64
     python -m repro.bench all --scale smoke --jobs 0 --verbose
     python -m repro.bench --verify-journal results/fig5_dancer.checkpoint.json
+    python -m repro.bench --serve 127.0.0.1:7000 --jobs 0     # server
+    python -m repro.bench fig5 --connect 127.0.0.1:7000       # client
 
 Exit codes: 0 success; 2 usage error; 3 when any sweep cell was
 quarantined as a typed abort (the CSV is incomplete — re-run with
@@ -73,13 +75,15 @@ def _combos(name: str, machine: str | None) -> list[tuple[str, str | None]]:
 
 
 def _run_one(name: str, machine: str | None, scale: str, csv: bool,
-             resume: bool, jobs: int, verbose: bool, strict: bool) -> int:
+             resume: bool, jobs: int, verbose: bool, strict: bool,
+             service: str | None = None) -> int:
     fn, takes_machine = EXPERIMENTS[name]
     status = EXIT_OK
     for _name, m in _combos(name, machine):
-        result = (fn(m, scale=scale, resume=resume, jobs=jobs)
+        result = (fn(m, scale=scale, resume=resume, jobs=jobs,
+                     service=service)
                   if takes_machine else
-                  fn(scale=scale, resume=resume, jobs=jobs))
+                  fn(scale=scale, resume=resume, jobs=jobs, service=service))
         _print_result(result, csv, verbose)
         status = max(status, _result_exit(result, strict))
     return status
@@ -133,6 +137,25 @@ def main(argv: list[str] | None = None) -> int:
              "``python -m pstats``).  Forces serial execution: profiles "
              "from forked pool workers would land in the wrong process")
     parser.add_argument(
+        "--serve", metavar="ADDR", default=None,
+        help="run a persistent sweep server on ADDR (host:port, port 0 = "
+             "ephemeral, or a unix socket path) instead of an experiment; "
+             "--jobs sizes its warm pool, --cache/--server-log configure "
+             "the result cache and log")
+    parser.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="obtain sweep cells from the sweep server at ADDR instead of "
+             "computing in-process (the server's cache and warm pool are "
+             "shared across clients; output stays byte-identical)")
+    parser.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="with --serve: result-cache journal path (default: "
+             "service_cache.checkpoint.json in the results dir; "
+             "'none' = memory only)")
+    parser.add_argument(
+        "--server-log", metavar="PATH", default=None,
+        help="with --serve: append server log lines to PATH")
+    parser.add_argument(
         "--verbose", action="store_true",
         help="print simulator counters (events, resumes, peak heap) and "
              "events/sec per experiment")
@@ -145,6 +168,25 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.serve is not None:
+        if args.experiment is not None or args.connect is not None:
+            parser.error("--serve runs a server; do not also name an "
+                         "experiment or --connect")
+        from repro.service.server import serve
+        from repro.service.store import default_cache_path
+
+        cache = args.cache
+        if cache is None:
+            cache = default_cache_path()
+        elif cache == "none":
+            cache = None
+        log = open(args.server_log, "a") if args.server_log else None
+        try:
+            return serve(args.serve, jobs=args.jobs, cache_path=cache,
+                         log=log)
+        finally:
+            if log is not None:
+                log.close()
     if args.verify_journal is not None:
         if args.experiment is not None:
             parser.error("--verify-journal inspects a file; "
@@ -181,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "table1":
         if args.resume:
             parser.error("--resume applies to sweep experiments, not table1")
+        if args.connect:
+            parser.error("--connect applies to sweep experiments, not table1")
         for machine in [args.machine] if args.machine else ["zoot", "ig"]:
             if machine not in ("zoot", "ig"):
                 parser.error("table1 runs on zoot or ig")
@@ -199,7 +243,8 @@ def main(argv: list[str] | None = None) -> int:
         # written by this parent process.
         from repro.bench.executor import run_experiments
 
-        kwargs = {"scale": args.scale, "resume": args.resume, "jobs": 1}
+        kwargs = {"scale": args.scale, "resume": args.resume, "jobs": 1,
+                  "service": args.connect}
         specs = [(name, m, kwargs)
                  for exp in names
                  for name, m in _combos(exp, args.machine)]
@@ -210,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         status = max(status, _run_one(
             name, args.machine, args.scale, args.csv, args.resume,
-            args.jobs, args.verbose, args.strict))
+            args.jobs, args.verbose, args.strict, args.connect))
     return status
 
 

@@ -10,13 +10,20 @@ corresponding collective component" (with the sense inverted: values above
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import hashlib
 import json
 import os
 import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field, replace
-from typing import IO, Callable, Iterable, Optional
+from typing import IO, Callable, Iterable, Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.bench import imb
 from repro.bench.chunking import DEFAULT_RETRY_LIMIT, CellAborted
@@ -28,8 +35,9 @@ from repro.simtime.trace import TraceRecord
 from repro.units import fmt_size, fmt_time
 
 __all__ = ["Series", "ExperimentResult", "SweepStats", "JournalReport",
-           "run_sweep", "results_dir", "checkpoint_path", "verify_journal",
-           "set_journal_wrapper"]
+           "JournalLease", "run_sweep", "results_dir", "checkpoint_path",
+           "verify_journal", "set_journal_wrapper", "journal_wrapper",
+           "set_profile_dir", "profile_dir", "acquire_journal_lease"]
 
 
 def results_dir() -> str:
@@ -101,6 +109,12 @@ class SweepStats:
     #: on resume, and append errors that downgraded journaling mid-sweep
     journal_skipped: int = 0
     journal_errors: int = 0
+    #: sweep-service client accounting (zero for in-process sweeps):
+    #: cells obtained from a sweep server, and how many of those the
+    #: server answered from its content-addressed cache without running
+    #: a simulation.
+    service_cells: int = 0
+    service_cache_hits: int = 0
     #: trace-model events emitted by the sweep substrate itself
     #: (``chunk.quarantine`` per aborted cell, ``journal.skip`` per
     #: skipped record) — feed to ``TraceModel.ingest`` alongside simulator
@@ -149,6 +163,9 @@ class SweepStats:
         if self.journal_skipped or self.journal_errors:
             base += (f" | journal: {self.journal_skipped} corrupt record(s) "
                      f"skipped, {self.journal_errors} append error(s)")
+        if self.service_cells:
+            base += (f" | service: {self.service_cells} cell(s), "
+                     f"{self.service_cache_hits} cache hit(s)")
         return base
 
 
@@ -271,13 +288,35 @@ _JOURNAL_FORMAT = 3
 
 #: chaos hook: wraps the journal file object opened for appends (fault
 #: campaigns inject EIO/ENOSPC/short writes here); identity when unset.
-_JOURNAL_WRAPPER: Optional[Callable[[IO[str]], IO[str]]] = None
+#: A :class:`~contextvars.ContextVar`, not a module global: each thread
+#: (and each asyncio task of the sweep service) sees only its own value,
+#: so one client's armed chaos wrapper can never leak into another
+#: client's sweep — and a sweep that crashes with the wrapper installed
+#: leaves nothing behind for the next caller in a fresh context.
+_JOURNAL_WRAPPER: ContextVar[Optional[Callable[[IO[str]], IO[str]]]] = \
+    ContextVar("repro_journal_wrapper", default=None)
 
 
 def set_journal_wrapper(fn: Optional[Callable[[IO[str]], IO[str]]]) -> None:
-    """Install (or clear, with ``None``) the journal file wrapper hook."""
-    global _JOURNAL_WRAPPER
-    _JOURNAL_WRAPPER = fn
+    """Install (or clear, with ``None``) the journal file wrapper hook.
+
+    Prefer the :func:`journal_wrapper` context manager — it restores the
+    previous hook even when the sweep inside it dies, which is what keeps
+    a crashed chaos run from leaving the wrapper armed for the next
+    sweep in the same process.
+    """
+    _JOURNAL_WRAPPER.set(fn)
+
+
+@contextlib.contextmanager
+def journal_wrapper(
+        fn: Optional[Callable[[IO[str]], IO[str]]]) -> Iterator[None]:
+    """Scope the journal wrapper hook to a ``with`` block (crash-safe)."""
+    token = _JOURNAL_WRAPPER.set(fn)
+    try:
+        yield
+    finally:
+        _JOURNAL_WRAPPER.reset(token)
 
 
 #: profiling hook: a directory path; when set, every serially-executed
@@ -285,20 +324,103 @@ def set_journal_wrapper(fn: Optional[Callable[[IO[str]], IO[str]]]) -> None:
 #: ``<dir>/<experiment>_<machine>_<stack>_<size>.pstats``.  Set via the
 #: ``--profile`` CLI flag (which forces serial execution — per-cell
 #: profiles from forked pool workers would land in the wrong process).
-_PROFILE_DIR: Optional[str] = None
+#: Context-scoped like the journal wrapper, and for the same reason.
+_PROFILE_DIR: ContextVar[Optional[str]] = \
+    ContextVar("repro_profile_dir", default=None)
 
 
 def set_profile_dir(path: Optional[str]) -> None:
     """Install (or clear, with ``None``) the per-cell profile directory."""
-    global _PROFILE_DIR
-    _PROFILE_DIR = path
+    _PROFILE_DIR.set(path)
 
 
-def _profile_path(experiment: str, machine: str, stack_name: str,
+@contextlib.contextmanager
+def profile_dir(path: Optional[str]) -> Iterator[None]:
+    """Scope the per-cell profile directory to a ``with`` block."""
+    token = _PROFILE_DIR.set(path)
+    try:
+        yield
+    finally:
+        _PROFILE_DIR.reset(token)
+
+
+def _profile_path(base: str, experiment: str, machine: str, stack_name: str,
                   size: int) -> str:
     safe = "".join(c if c.isalnum() or c in "-._" else "-"
                    for c in f"{experiment}_{machine}_{stack_name}_{size}")
-    return os.path.join(_PROFILE_DIR or ".", safe + ".pstats")
+    return os.path.join(base, safe + ".pstats")
+
+
+class JournalLease:
+    """Advisory exclusive lease on one checkpoint journal.
+
+    Two writers sharing :func:`results_dir` (a sweep server and a stray
+    CLI run, or two CLI runs racing) would interleave their appends into
+    the same ``*.checkpoint.json`` file: each append is a buffered write,
+    and a flush boundary landing mid-line splices the two streams into a
+    corrupt interior record (see
+    ``tests/bench/test_journal_lock.py`` for the demonstration).
+
+    The lease is an ``flock`` on a ``<journal>.lock`` sidecar — the
+    sidecar, not the journal itself, because compaction atomically
+    *replaces* the journal (``os.replace``), and a lock on the old inode
+    would let a second writer happily lock the new one.  ``flock`` is
+    per open file description, so two opens in one process conflict just
+    like two processes do.  On platforms without ``fcntl`` the lease
+    degrades to a no-op (single-writer discipline is then unenforced, as
+    before this lease existed).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        fh = open(path + ".lock", "a+")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as err:
+            holder = ""
+            try:
+                fh.seek(0)
+                pid = fh.read().strip()
+                if pid:
+                    holder = f" (held by pid {pid})"
+            except OSError:
+                pass
+            fh.close()
+            raise BenchmarkError(
+                f"checkpoint journal {path} is locked by another "
+                f"writer{holder}; a second concurrent writer would "
+                f"interleave appends and corrupt records") from err
+        fh.seek(0)
+        fh.truncate()
+        fh.write(f"{os.getpid()}\n")
+        fh.flush()
+        self._fh = fh
+
+    def release(self) -> None:
+        """Drop the lease (idempotent); the sidecar file is left behind."""
+        if self._fh is None:
+            return
+        fh, self._fh = self._fh, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+    def __enter__(self) -> "JournalLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def acquire_journal_lease(path: str) -> JournalLease:
+    """Take the exclusive writer lease for journal ``path`` (typed
+    :class:`~repro.errors.BenchmarkError` when another writer holds it)."""
+    return JournalLease(path)
 
 
 def _record_checksum(key: str, t_literal: str) -> str:
@@ -496,6 +618,43 @@ def _journal_append(fh: IO[str], key: str, t: float) -> None:
     os.fsync(fh.fileno())
 
 
+def _sweep_via_service(address: str, machine: str, operation: str,
+                       nprocs: int, settings: ImbSettings, pending: list,
+                       stats: SweepStats, cells: dict,
+                       aborted: dict, journal_cell) -> None:
+    """Obtain pending cells from a sweep server (the ``--connect`` path).
+
+    The server resolves each cell from its content-addressed cache when
+    it can and shards the misses across its standing warm pool; results
+    stream back in completion order and are journaled locally exactly
+    like locally-computed ones, so served sweeps produce byte-identical
+    CSVs and checkpoints.
+    """
+    from repro.service.client import ServiceClient
+
+    stats.events.append(TraceRecord(0.0, "service.request", {
+        "address": address, "cells": len(pending),
+        "operation": operation, "machine": machine}))
+    with ServiceClient(address) as client:
+        for res in client.sweep(machine, operation, nprocs, settings,
+                                pending):
+            stats.service_cells += 1
+            if res.aborted is not None:
+                aborted[res.key] = res.aborted
+                stats.cells_aborted += 1
+                stats.events.append(TraceRecord(0.0, "chunk.quarantine", {
+                    "cell": res.key, "deaths": res.aborted.deaths,
+                    "reason": res.aborted.reason}))
+                continue
+            if res.cached:
+                stats.service_cache_hits += 1
+                stats.events.append(TraceRecord(0.0, "service.cache_hit", {
+                    "cell": res.key, "address": address}))
+            cells[res.key] = res.t
+            stats.add_cell(res.stats)
+            journal_cell(res.key, res.t)
+
+
 def run_sweep(
     experiment: str,
     machine: str,
@@ -509,6 +668,7 @@ def run_sweep(
     checkpoint: Optional[str] = None,
     parallel: int = 1,
     retry_limit: Optional[int] = DEFAULT_RETRY_LIMIT,
+    service: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the (stack x size) grid and return the collected curves.
 
@@ -535,6 +695,21 @@ def run_sweep(
     per-cell worker-death budget of the quarantine ladder (parallel only);
     quarantined cells land in ``result.aborted`` and are *absent* from the
     series/CSV/journal, so ``--resume`` recomputes them.
+
+    ``service`` names a sweep-server address (``host:port`` or a unix
+    socket path): pending cells are requested from the server instead of
+    computed in-process (``parallel`` is then ignored).  The server's
+    content-addressed cache and warm pool produce the same per-cell times
+    as a local run, so served sweeps keep the byte-identity guarantee.
+    Journaling, resume, and series assembly all stay local.
+
+    While the sweep holds a checkpoint journal open it also holds an
+    exclusive advisory lease on it (``<journal>.lock``); a second writer
+    racing the same journal gets a typed error instead of silently
+    interleaving appends into a corrupt record.  SIGTERM during the sweep
+    is converted into ``KeyboardInterrupt`` (main thread only), so the
+    pool is shut down, workers are reaped, and the journal is closed on a
+    complete record instead of being torn mid-append.
     """
     stacks = list(stacks)
     sizes = list(sizes)
@@ -543,30 +718,15 @@ def run_sweep(
     settings = settings or ImbSettings()
     if fault_plan is not None:
         settings = replace(settings, fault_plan=fault_plan)
+    from repro.bench.executor import run_cells, sigterm_interrupts
+
     header: Optional[dict] = None
     cells: dict[str, float] = {}
     stats = SweepStats()
-    if checkpoint is not None:
-        header = _sweep_header(experiment, machine, operation, nprocs,
-                               settings)
-        report = _load_checkpoint(checkpoint, header)
-        cells = report.cells
-        stats.journal_skipped = len(report.skipped)
-        for skip in report.skipped:
-            stats.events.append(TraceRecord(0.0, "journal.skip", {
-                "path": checkpoint, "lineno": skip.lineno,
-                "cell": skip.cell, "reason": skip.reason}))
-        _compact_checkpoint(checkpoint, header, cells)
-    stats.cells_resumed = len(cells)
     aborted: dict[str, CellAborted] = {}
-    wall0 = time.perf_counter()
-    pending = [(stack, size) for stack in stacks for size in sizes
-               if f"{stack.name}|{size}" not in cells]
+    lease: Optional[JournalLease] = None
     journal: Optional[IO[str]] = None
-    if checkpoint is not None and pending:
-        journal = open(checkpoint, "a")
-        if _JOURNAL_WRAPPER is not None:
-            journal = _JOURNAL_WRAPPER(journal)
+    wall0 = time.perf_counter()
 
     def journal_cell(key: str, t: float) -> None:
         # An append that errors (disk full, I/O error, chaos injection)
@@ -589,48 +749,86 @@ def run_sweep(
             journal = None
 
     try:
-        if parallel != 1 and pending:
-            from repro.bench.executor import run_cells
-
-            pool_report: dict = {}
-            for key, t, cell_stats in run_cells(
+        if checkpoint is not None:
+            header = _sweep_header(experiment, machine, operation, nprocs,
+                                   settings)
+            lease = acquire_journal_lease(checkpoint)
+            report = _load_checkpoint(checkpoint, header)
+            cells = report.cells
+            stats.journal_skipped = len(report.skipped)
+            for skip in report.skipped:
+                stats.events.append(TraceRecord(0.0, "journal.skip", {
+                    "path": checkpoint, "lineno": skip.lineno,
+                    "cell": skip.cell, "reason": skip.reason}))
+            _compact_checkpoint(checkpoint, header, cells)
+        stats.cells_resumed = len(cells)
+        pending = [(stack, size) for stack in stacks for size in sizes
+                   if f"{stack.name}|{size}" not in cells]
+        if checkpoint is not None and pending:
+            journal = open(checkpoint, "a")
+            wrapper = _JOURNAL_WRAPPER.get()
+            if wrapper is not None:
+                journal = wrapper(journal)
+        with sigterm_interrupts():
+            if service is not None and pending:
+                _sweep_via_service(service, machine, operation, nprocs,
+                                   settings, pending, stats, cells, aborted,
+                                   journal_cell)
+            elif parallel != 1 and pending:
+                pool_report: dict = {}
+                producer = run_cells(
                     machine, operation, nprocs, settings, pending,
                     jobs=parallel, report=pool_report,
-                    retry_limit=retry_limit):
-                if isinstance(t, CellAborted):
-                    aborted[key] = t
-                    stats.events.append(TraceRecord(0.0, "chunk.quarantine", {
-                        "cell": key, "deaths": t.deaths, "reason": t.reason}))
-                    continue
-                cells[key] = t
-                stats.add_cell(cell_stats)
-                journal_cell(key, t)
-            stats.pool_workers = pool_report.get("workers", 0)
-            stats.pool_chunks = pool_report.get("chunks", 0)
-            stats.pool_requeued = pool_report.get("cells_requeued", 0)
-            stats.pool_respawns = pool_report.get("respawns", 0)
-            stats.cells_aborted = pool_report.get("cells_aborted", 0)
-            stats.chunks_quarantined = pool_report.get("chunks_quarantined", 0)
-        else:
-            for stack, size in pending:
-                if _PROFILE_DIR is not None:
-                    import cProfile
+                    retry_limit=retry_limit)
+                try:
+                    for key, t, cell_stats in producer:
+                        if isinstance(t, CellAborted):
+                            aborted[key] = t
+                            stats.events.append(TraceRecord(
+                                0.0, "chunk.quarantine",
+                                {"cell": key, "deaths": t.deaths,
+                                 "reason": t.reason}))
+                            continue
+                        cells[key] = t
+                        stats.add_cell(cell_stats)
+                        journal_cell(key, t)
+                finally:
+                    # Close the generator deterministically: an exception
+                    # raised in *this* loop body (a signal, a journal bug)
+                    # would otherwise leave it suspended — and the warm
+                    # pool inside it alive — until garbage collection,
+                    # which never happens at all when the process is dying.
+                    producer.close()
+                stats.pool_workers = pool_report.get("workers", 0)
+                stats.pool_chunks = pool_report.get("chunks", 0)
+                stats.pool_requeued = pool_report.get("cells_requeued", 0)
+                stats.pool_respawns = pool_report.get("respawns", 0)
+                stats.cells_aborted = pool_report.get("cells_aborted", 0)
+                stats.chunks_quarantined = pool_report.get(
+                    "chunks_quarantined", 0)
+            else:
+                prof_base = _PROFILE_DIR.get()
+                for stack, size in pending:
+                    if prof_base is not None:
+                        import cProfile
 
-                    prof = cProfile.Profile()
-                    t = prof.runcall(imb_time, machine, stack, nprocs,
-                                     operation, size, settings)
-                    prof.dump_stats(_profile_path(
-                        experiment, machine, stack.name, size))
-                else:
-                    t = imb_time(machine, stack, nprocs, operation, size,
-                                 settings)
-                key = f"{stack.name}|{size}"
-                cells[key] = t
-                stats.add_cell(imb.consume_cell_stats())
-                journal_cell(key, t)
+                        prof = cProfile.Profile()
+                        t = prof.runcall(imb_time, machine, stack, nprocs,
+                                         operation, size, settings)
+                        prof.dump_stats(_profile_path(
+                            prof_base, experiment, machine, stack.name, size))
+                    else:
+                        t = imb_time(machine, stack, nprocs, operation, size,
+                                     settings)
+                    key = f"{stack.name}|{size}"
+                    cells[key] = t
+                    stats.add_cell(imb.consume_cell_stats())
+                    journal_cell(key, t)
     finally:
         if journal is not None:
             journal.close()
+        if lease is not None:
+            lease.release()
     stats.wall_seconds = time.perf_counter() - wall0
     series = []
     for stack in stacks:

@@ -15,12 +15,17 @@ A campaign is four phases over one sweep grid:
 4. **resume** — re-run serially against the damaged journal with chaos
    disarmed: corrupt records must skip-and-recompute, quarantined cells
    must heal, and the final cell map must equal the reference exactly.
+5. **service-restart** (only when the ``restart`` dimension is armed) —
+   serve the grid from a sweep server, stop the server, serve it again
+   from a fresh server sharing the durable result cache: the second
+   serving must be all cache hits, byte-identical to the reference.
 
 Then the oracles (:mod:`repro.chaos.oracles`) rule on the artifacts.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass
 from typing import Optional
@@ -43,6 +48,7 @@ from repro.chaos.oracles import (
     check_journal,
     check_pool_bounds,
     check_sanitizer,
+    check_service_restart,
     check_typed_abort,
 )
 from repro.chaos.report import CampaignReport, OracleVerdict, PhaseOutcome
@@ -77,6 +83,7 @@ class CampaignSpec:
     poison: Optional[bool] = None
     fsfault: Optional[bool] = None
     corrupt: Optional[bool] = None
+    restart: Optional[bool] = None
 
     def describe(self) -> dict:
         return {
@@ -124,7 +131,7 @@ def run_campaign(spec: CampaignSpec, workdir: str) -> CampaignReport:
         spec.seed, keys, substrate=substrate,
         knem=spec.knem, stall=spec.stall, crash=spec.crash,
         deaths=spec.deaths, poison=spec.poison, fsfault=spec.fsfault,
-        corrupt=spec.corrupt)
+        corrupt=spec.corrupt, restart=spec.restart)
     full_plan = build_fault_plan(dims, include_crash=True)
     ref_plan = build_fault_plan(dims, include_crash=False)
     settings = ImbSettings(max_iterations=spec.max_iterations)
@@ -147,21 +154,24 @@ def run_campaign(spec: CampaignSpec, workdir: str) -> CampaignReport:
     chaos_result: Optional[ExperimentResult] = None
     chaos_error: Optional[BaseException] = None
     hook = make_cell_hook(dims, workdir)
-    if hook is not None:
-        executor.install_cell_chaos(hook)
-    if dims.fs_rule is not None:
-        rule = dims.fs_rule
-        harness.set_journal_wrapper(lambda fh: FaultyFile(fh, rule))
-    try:
-        chaos_result = run_sweep(
-            fault_plan=full_plan, checkpoint=checkpoint,
-            parallel=spec.jobs, retry_limit=spec.retry_limit,
-            **sweep_args)
-    except TYPED_ERRORS as err:
-        chaos_error = err
-    finally:
-        executor.install_cell_chaos(None)
-        harness.set_journal_wrapper(None)
+    with contextlib.ExitStack() as hooks:
+        if hook is not None:
+            executor.install_cell_chaos(hook)
+            hooks.callback(executor.install_cell_chaos, None)
+        if dims.fs_rule is not None:
+            rule = dims.fs_rule
+            # Context-scoped (not set/reset by hand): the wrapper is
+            # restored even when the sweep dies, so a crashed chaos run
+            # can never leave fs faults armed for the next phase.
+            hooks.enter_context(harness.journal_wrapper(
+                lambda fh: FaultyFile(fh, rule)))
+        try:
+            chaos_result = run_sweep(
+                fault_plan=full_plan, checkpoint=checkpoint,
+                parallel=spec.jobs, retry_limit=spec.retry_limit,
+                **sweep_args)
+        except TYPED_ERRORS as err:
+            chaos_error = err
     report.phases.append(PhaseOutcome(
         "chaos", chaos_error is None,
         error=None if chaos_error is None else
@@ -190,6 +200,45 @@ def run_campaign(spec: CampaignSpec, workdir: str) -> CampaignReport:
         f"{type(resume_error).__name__}: {resume_error}",
         detail=_stats_summary(resumed)))
 
+    # Phase 5: serve the grid twice across a sweep-server restart.  Both
+    # servers share one durable cache journal in the workdir, so every
+    # cell of the second serving must be a cache hit — losing the server
+    # process must never lose results.
+    served: Optional[ExperimentResult] = None
+    reserved: Optional[ExperimentResult] = None
+    service_counters: Optional[dict] = None
+    if dims.restart:
+        from repro.service.server import start_in_thread
+        from repro.simtime.trace import TraceRecord
+
+        cache = os.path.join(workdir,
+                             f"service_{spec.seed}.cache.checkpoint.json")
+        service_error: Optional[BaseException] = None
+        try:
+            first = start_in_thread("127.0.0.1:0", jobs=1, cache_path=cache)
+            try:
+                served = run_sweep(fault_plan=ref_plan,
+                                   service=first.address, **sweep_args)
+            finally:
+                first.stop()  # the injected restart: server process dies
+            with start_in_thread("127.0.0.1:0", jobs=1,
+                                 cache_path=cache) as second:
+                reserved = run_sweep(fault_plan=ref_plan,
+                                     service=second.address, **sweep_args)
+                service_counters = second.counters()
+            if reserved.stats is not None:
+                reserved.stats.events.append(TraceRecord(
+                    0.0, "service.restart",
+                    {"cache": os.path.basename(cache),
+                     "counters": service_counters}))
+        except TYPED_ERRORS as err:  # pragma: no cover - oracle will fail
+            service_error = err
+        report.phases.append(PhaseOutcome(
+            "service-restart", service_error is None,
+            error=None if service_error is None else
+            f"{type(service_error).__name__}: {service_error}",
+            detail=service_counters or {}))
+
     # Oracles.
     report.oracles.append(check_identity(reference, resumed))
     report.oracles.append(
@@ -203,6 +252,9 @@ def run_campaign(spec: CampaignSpec, workdir: str) -> CampaignReport:
         max(sizes), ref_plan))
     report.oracles.append(check_pool_bounds(
         chaos_result, dims, len(keys), spec.retry_limit))
+    if dims.restart:
+        report.oracles.append(check_service_restart(
+            reference, served, reserved, service_counters))
     if damage is not None:
         detected = resumed is not None and resumed.stats is not None and (
             resumed.stats.journal_skipped >= 1)

@@ -23,7 +23,7 @@ from repro.chaos.campaign import CampaignSpec, run_campaign
 __all__ = ["main"]
 
 _DIMENSIONS = ("knem", "stall", "crash", "deaths", "poison", "fsfault",
-               "corrupt")
+               "corrupt", "restart")
 
 
 def main(argv: list[str] | None = None) -> int:

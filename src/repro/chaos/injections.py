@@ -24,6 +24,10 @@ dimension           injection point
 ``fsfault``         one journal append fails (EIO/ENOSPC/short write)
 ``corrupt``         one interior journal record is bit-flipped after the
                     run (resume must skip-and-recompute it)
+``restart``         the sweep service is stopped between two served runs
+                    of the grid; the second run against a fresh server
+                    on the same cache journal must answer every cell
+                    from cache, byte-identical to the reference
 ==================  ====================================================
 """
 
@@ -52,6 +56,7 @@ _DIM_PROBABILITY = {
     "poison": 0.4,
     "fsfault": 0.5,
     "corrupt": 0.6,
+    "restart": 0.35,
 }
 
 
@@ -75,6 +80,9 @@ class Dimensions:
     fs_rule: Optional[FsFaultRule]
     #: flip one interior journal record after the chaos run
     corrupt: bool
+    #: serve the grid twice across a sweep-server restart; the second
+    #: serving must be all cache hits and byte-identical
+    restart: bool = False
 
     def describe(self) -> dict:
         """JSON-friendly summary for campaign reports."""
@@ -90,6 +98,7 @@ class Dimensions:
                          {"mode": self.fs_rule.mode,
                           "after_writes": self.fs_rule.after_writes}),
             "corrupt_journal": self.corrupt,
+            "service_restart": self.restart,
         }
 
 
@@ -107,14 +116,17 @@ def derive_dimensions(seed: int, keys: Sequence[str], *,
                       deaths: Optional[bool] = None,
                       poison: Optional[bool] = None,
                       fsfault: Optional[bool] = None,
-                      corrupt: Optional[bool] = None) -> Dimensions:
+                      corrupt: Optional[bool] = None,
+                      restart: Optional[bool] = None) -> Dimensions:
     """Resolve one campaign's dimensions from its seed.
 
     ``keys`` are the sweep's cell keys in grid order (victim cells are
     chosen among them).  ``substrate=False`` masks the worker-death
     dimensions (a serial sweep has no workers to kill).  Each keyword
     overrides one dimension: ``True`` forces it on, ``False`` off,
-    ``None`` (default) leaves it to the seeded coin.
+    ``None`` (default) leaves it to the seeded coin.  Every dimension
+    draws from its own seed token, so adding a dimension never shifts
+    what existing seeds decide for the others.
     """
     keys = list(keys)
     poison_key: Optional[str] = None
@@ -145,6 +157,7 @@ def derive_dimensions(seed: int, keys: Sequence[str], *,
         poison_key=poison_key,
         fs_rule=fs_rule,
         corrupt=_enabled(seed, "corrupt", corrupt),
+        restart=_enabled(seed, "restart", restart),
     )
 
 

@@ -24,7 +24,7 @@ from repro.mpi.stacks import Stack
 
 __all__ = ["TYPED_ERRORS", "check_identity", "check_chaos_cells",
            "check_typed_abort", "check_journal", "check_sanitizer",
-           "check_pool_bounds"]
+           "check_pool_bounds", "check_service_restart"]
 
 #: error types a chaos phase may legitimately end with — anything else
 #: (KeyError, a hang, a segfault) is a substrate bug, not an abort.
@@ -184,3 +184,54 @@ def check_pool_bounds(result: Optional[ExperimentResult], dims: Dimensions,
     return OracleVerdict(
         "pool", True,
         f"{stats.pool_respawns} respawn(s) within budget {bound}")
+
+
+def check_service_restart(reference: ExperimentResult,
+                          served: Optional[ExperimentResult],
+                          reserved: Optional[ExperimentResult],
+                          counters: Optional[dict]) -> OracleVerdict:
+    """A server restart loses no results: the re-served grid is answered
+    entirely from the durable cache, byte-identical to the reference, and
+    the restarted server's pool computed nothing.
+
+    Also drives the served sweeps' ``service.*`` trace events through the
+    analysis :class:`~repro.analysis.model.TraceModel`, so the model's
+    service ingestion is exercised under chaos, not just in unit tests.
+    """
+    if served is None or reserved is None:
+        return OracleVerdict("service-cache", False,
+                             "service phase never completed")
+    want = _times(reference)
+    for label, result in (("served", served), ("re-served", reserved)):
+        got = _times(result)
+        if want != got:
+            return OracleVerdict(
+                "service-cache", False,
+                f"{label} sweep diverged from the reference")
+    n_cells = sum(len(s.times) for s in reference.series)
+    stats = reserved.stats
+    if stats is None or stats.service_cache_hits != n_cells:
+        hits = stats.service_cache_hits if stats else "?"
+        return OracleVerdict(
+            "service-cache", False,
+            f"restarted server answered {hits}/{n_cells} cells from cache")
+    if counters is not None and counters.get("cells_computed", 0) != 0:
+        return OracleVerdict(
+            "service-cache", False,
+            f"restarted server recomputed "
+            f"{counters['cells_computed']} cell(s) despite a warm cache")
+    from repro.analysis.model import TraceModel
+
+    model = TraceModel(nprocs=1).ingest(
+        list(served.stats.events) + list(stats.events)
+        if served.stats else list(stats.events))
+    kinds = [ev.kind for ev in model.service_events]
+    if "restart" not in kinds or kinds.count("cache_hit") < n_cells:
+        return OracleVerdict(
+            "service-cache", False,
+            f"trace model ingested {kinds.count('cache_hit')} cache hits "
+            f"and {kinds.count('restart')} restart event(s)")
+    return OracleVerdict(
+        "service-cache", True,
+        f"{n_cells} cells re-served from cache across a restart, "
+        f"byte-identical")

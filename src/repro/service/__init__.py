@@ -1,0 +1,32 @@
+"""Sweep-as-a-service: a persistent sweep server and its client.
+
+The paper's core argument is amortization: KNEM's per-call setup
+(region registration, cookie exchange) is hoisted into standing state so
+repeated collectives pay only the copy.  This package applies the same
+move to the harness itself.  A long-running server keeps the fork-once
+warm pool, the per-spec memo caches, and a content-addressed result
+cache alive across sweeps, so a repeated figure reproduction pays
+neither process startup nor recomputation — ``python -m repro.bench``
+becomes one client among many (``--serve`` / ``--connect``).
+
+Components (scheduler / store / transport are deliberately separable):
+
+- :mod:`repro.service.protocol` — wire codec: newline-delimited JSON
+  frames, dataclass round-trips, and the content-addressed cache key.
+- :mod:`repro.service.store` — :class:`ResultStore`, the cache layered
+  on a format-3 JSONL journal keyed by cache key.
+- :mod:`repro.service.runner` — :class:`PoolRunner`, the thread that
+  owns the persistent :class:`~repro.bench.executor.WarmPool` and runs
+  batched cache misses on it.
+- :mod:`repro.service.server` — the asyncio transport multiplexing
+  concurrent clients and deduping in-flight cells.
+- :mod:`repro.service.client` — the blocking client used by
+  :func:`repro.bench.harness.run_sweep`'s ``service=`` path.
+"""
+
+from repro.service.client import CellResult, ServiceClient
+from repro.service.protocol import cache_key
+from repro.service.server import ServerHandle, SweepServer, serve
+
+__all__ = ["CellResult", "ServiceClient", "ServerHandle", "SweepServer",
+           "cache_key", "serve"]

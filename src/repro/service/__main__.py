@@ -1,0 +1,48 @@
+"""``python -m repro.service`` — run a standalone sweep server.
+
+Thin alias of ``python -m repro.bench --serve ADDR``; see
+:func:`repro.service.server.serve`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service.server import serve
+from repro.service.store import default_cache_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Persistent sweep server with a content-addressed "
+                    "result cache.")
+    parser.add_argument("address",
+                        help="host:port to bind (port 0 = ephemeral) or a "
+                             "unix socket path")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="warm-pool workers (0 = one per CPU, 1 = "
+                             "serial in-thread)")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="result-cache journal path (default: "
+                             "service_cache.checkpoint.json in the results "
+                             "dir; 'none' = memory only)")
+    parser.add_argument("--log", default=None, metavar="PATH",
+                        help="append server log lines to PATH")
+    args = parser.parse_args(argv)
+    cache = args.cache
+    if cache is None:
+        cache = default_cache_path()
+    elif cache == "none":
+        cache = None
+    log = open(args.log, "a") if args.log else None
+    try:
+        return serve(args.address, jobs=args.jobs, cache_path=cache, log=log)
+    finally:
+        if log is not None:
+            log.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Wire format and cache-key derivation for the sweep service.
+
+Transport is newline-delimited JSON ("NDJSON"): one frame per line, each
+frame a JSON object with an ``op`` discriminator.  NDJSON keeps the
+protocol inspectable with ``nc`` and the reader trivially incremental —
+the same property the format-3 journal exploits — and every value that
+crosses the wire is built from frozen dataclasses of primitives, so the
+codec is a plain ``asdict``/reconstruct round-trip with no pickle.
+
+Client → server frames::
+
+    {"op": "sweep", "id": N, "machine": ..., "operation": ..., "nprocs": ...,
+     "settings": {...}, "cells": [{"stack": {...}, "size": S}, ...]}
+    {"op": "ping"}
+
+Server → client frames (streamed, completion order)::
+
+    {"op": "cell",  "id": N, "key": "stack|size", "t": ..., "cached": bool,
+     "stats": {...} | null}
+    {"op": "abort", "id": N, "key": ..., "deaths": ..., "reason": ...}
+    {"op": "cell_error", "id": N, "key": ..., "message": ...}
+    {"op": "end",   "id": N, "cells": ..., "cache_hits": ...}
+    {"op": "error", "id": N | null, "message": ...}
+    {"op": "pong",  "counters": {...}}
+
+The **cache key** is the content address of one sweep cell: a blake2b
+digest over the canonical JSON of everything the measured time is a
+function of — machine, operation, nprocs, the measurement settings, the
+full stack (tuning included), the message size, and the fault plan
+(whose seed covers the "seed" of the cell identity).  It promotes the
+journal's per-record blake2b integrity key into an *identity* key: the
+server's result cache is a format-3 journal whose cell keys are these
+digests, so every cached entry is both content-addressed and
+checksummed with the same primitive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import IO, Any, Optional
+
+from repro.bench.imb import CellStats, ImbSettings
+from repro.coll.tuning import Tuning
+from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.mpi.stacks import Stack
+
+__all__ = ["cache_key", "context_fingerprint", "encode_stack",
+           "decode_stack", "encode_settings", "decode_settings",
+           "encode_stats", "decode_stats", "parse_address", "format_frame",
+           "parse_frame", "read_frames", "ProtocolError"]
+
+
+class ProtocolError(BenchmarkError):
+    """A malformed or out-of-protocol frame."""
+
+
+# -- dataclass round-trips ---------------------------------------------------
+
+def encode_stack(stack: Stack) -> dict:
+    """A :class:`Stack` (tuning included) as a JSON-able dict."""
+    return asdict(stack)
+
+
+def decode_stack(data: dict) -> Stack:
+    try:
+        return Stack(**{**data, "tuning": Tuning(**data["tuning"])})
+    except (KeyError, TypeError) as err:
+        raise ProtocolError(f"bad stack on the wire: {err}") from err
+
+
+def _encode_fault_plan(plan: Optional[FaultPlan]) -> Optional[dict]:
+    if plan is None:
+        return None
+    return {"seed": plan.seed, "rules": [asdict(r) for r in plan.rules]}
+
+
+def _decode_fault_plan(data: Optional[dict]) -> Optional[FaultPlan]:
+    if data is None:
+        return None
+    try:
+        return FaultPlan([FaultRule(**r) for r in data["rules"]],
+                         seed=data["seed"])
+    except (KeyError, TypeError) as err:
+        raise ProtocolError(f"bad fault plan on the wire: {err}") from err
+
+
+def encode_settings(settings: ImbSettings) -> dict:
+    """An :class:`ImbSettings` (fault plan included) as a JSON-able dict."""
+    return {
+        "warmups": settings.warmups,
+        "max_iterations": settings.max_iterations,
+        "target_bytes": settings.target_bytes,
+        "off_cache": bool(settings.off_cache),
+        "root": settings.root,
+        "fault_plan": _encode_fault_plan(settings.fault_plan),
+    }
+
+
+def decode_settings(data: dict) -> ImbSettings:
+    try:
+        return ImbSettings(
+            warmups=data["warmups"],
+            max_iterations=data["max_iterations"],
+            target_bytes=data["target_bytes"],
+            off_cache=data["off_cache"],
+            root=data["root"],
+            fault_plan=_decode_fault_plan(data.get("fault_plan")),
+        )
+    except (KeyError, TypeError) as err:
+        raise ProtocolError(f"bad settings on the wire: {err}") from err
+
+
+def encode_stats(stats: Optional[CellStats]) -> Optional[dict]:
+    return None if stats is None else asdict(stats)
+
+
+def decode_stats(data: Optional[dict]) -> Optional[CellStats]:
+    if data is None:
+        return None
+    try:
+        return CellStats(**data)
+    except TypeError as err:
+        raise ProtocolError(f"bad cell stats on the wire: {err}") from err
+
+
+# -- content addressing ------------------------------------------------------
+
+def context_fingerprint(machine: str, operation: str, nprocs: int,
+                        settings: ImbSettings) -> str:
+    """Canonical JSON of a sweep's execution context (cells share it)."""
+    return json.dumps({
+        "machine": machine,
+        "operation": operation,
+        "nprocs": nprocs,
+        "settings": encode_settings(settings),
+    }, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(machine: str, operation: str, nprocs: int,
+              settings: ImbSettings, stack: Stack, size: int) -> str:
+    """Content address of one sweep cell (blake2b-128 hex digest).
+
+    Covers every input the measured time is a function of; two cells
+    collide exactly when the simulation would be bit-identical, which is
+    what makes the digest safe to use as the dedupe/cache identity.
+    """
+    token = json.dumps({
+        "ctx": json.loads(context_fingerprint(
+            machine, operation, nprocs, settings)),
+        "stack": encode_stack(stack),
+        "size": size,
+    }, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.blake2b(token, digest_size=16).hexdigest()
+
+
+# -- address parsing ---------------------------------------------------------
+
+def parse_address(address: str) -> tuple:
+    """``("tcp", host, port)`` or ``("unix", path)`` for an address string.
+
+    ``host:port`` (port numeric) is TCP; anything containing a path
+    separator — or ending in ``.sock`` — is a unix-domain socket path.
+    """
+    if "/" in address or address.endswith(".sock"):
+        return ("unix", address)
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit():
+        return ("tcp", host or "127.0.0.1", int(port))
+    raise BenchmarkError(
+        f"bad service address {address!r}: expected host:port or a unix "
+        f"socket path")
+
+
+# -- framing -----------------------------------------------------------------
+
+def format_frame(frame: dict) -> bytes:
+    """One NDJSON wire line for a frame dict."""
+    return (json.dumps(frame, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def parse_frame(line: bytes) -> dict:
+    try:
+        frame = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError(f"bad frame on the wire: {err}") from err
+    if not isinstance(frame, dict) or not isinstance(frame.get("op"), str):
+        raise ProtocolError(f"frame without an op: {line[:80]!r}")
+    return frame
+
+
+def read_frames(fh: IO[bytes]) -> Any:
+    """Yield frames from a blocking binary stream until EOF (client side)."""
+    for line in fh:
+        if line.strip():
+            yield parse_frame(line)

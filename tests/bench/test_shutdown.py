@@ -1,0 +1,119 @@
+"""SIGTERM mid-sweep: clean pool teardown, reaped workers, sane journal.
+
+The shutdown-audit regression test: a parallel sweep killed by SIGTERM
+must convert the signal into ``KeyboardInterrupt`` (so ``finally``
+blocks run), shut the warm pool down, reap every forked worker, and
+leave the checkpoint journal on a complete record so ``--resume`` can
+finish the grid.  Pre-audit behaviour was an abrupt exit that orphaned
+workers and could tear the journal mid-append.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.bench.harness import verify_journal
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="the warm pool needs the fork start method")
+
+#: a grid big enough that SIGTERM reliably lands mid-sweep (24 cells)
+CHILD = textwrap.dedent("""
+    import os, sys
+    from repro.bench.harness import run_sweep
+    from repro.bench.imb import ImbSettings
+    from repro.mpi import stacks
+
+    checkpoint = sys.argv[1]
+    try:
+        run_sweep(
+            experiment="sigterm", machine="dancer", operation="bcast",
+            nprocs=4, stacks=[stacks.TUNED_SM, stacks.KNEM_COLL],
+            sizes=[2 ** k for k in range(8, 20)],
+            settings=ImbSettings(max_iterations=4, warmups=1),
+            checkpoint=checkpoint, parallel=2)
+    except KeyboardInterrupt:
+        # The sweep's finally blocks have run by now: the pool is shut
+        # down and the journal is closed.  Prove every forked worker was
+        # reaped: with no children left, waitpid raises ChildProcessError.
+        try:
+            os.waitpid(-1, os.WNOHANG)
+            print("LIVE_CHILDREN", flush=True)
+            sys.exit(7)
+        except ChildProcessError:
+            print("INTERRUPTED_CLEAN", flush=True)
+            sys.exit(42)
+    print("COMPLETED", flush=True)
+    sys.exit(0)
+""")
+
+
+@needs_fork
+class TestSigtermShutdown:
+    def test_sigterm_reaps_workers_and_leaves_a_resumable_journal(
+            self, tmp_path):
+        checkpoint = str(tmp_path / "sigterm.checkpoint.json")
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ,
+                   PYTHONPATH=src_dir, REPRO_RESULTS_DIR=str(tmp_path))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", CHILD, checkpoint],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            # Wait for the sweep to be genuinely in flight (two cells
+            # journaled), then pull the trigger.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                try:
+                    if len(verify_journal(checkpoint).cells) >= 2:
+                        break
+                except Exception:
+                    pass  # journal mid-compaction; try again
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("sweep never journaled a cell")
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        if proc.returncode == 0:
+            pytest.skip("sweep finished before SIGTERM landed")
+        assert proc.returncode == 42, (out, err)
+        assert "INTERRUPTED_CLEAN" in out
+        assert "LIVE_CHILDREN" not in out
+
+        # The journal closed on a record boundary: fully intact, partial.
+        report = verify_journal(checkpoint)
+        assert report.ok, report.render()
+        assert 2 <= len(report.cells) < 24
+
+        # ... and a resumed run completes the grid from where it stopped.
+        from repro.bench.harness import run_sweep
+        from repro.bench.imb import ImbSettings
+        from repro.mpi import stacks
+
+        resumed = run_sweep(
+            experiment="sigterm", machine="dancer", operation="bcast",
+            nprocs=4, stacks=[stacks.TUNED_SM, stacks.KNEM_COLL],
+            sizes=[2 ** k for k in range(8, 20)],
+            settings=ImbSettings(max_iterations=4, warmups=1),
+            checkpoint=checkpoint)
+        assert resumed.stats.cells_resumed == len(report.cells)
+        assert sum(len(s.times) for s in resumed.series) == 24

@@ -52,6 +52,7 @@ ACCEPTANCE = CampaignSpec(
                     # exercised by its own test below)
     fsfault=False,  # keep the journal complete so `corrupt` has an
                     # interior record to hit
+    restart=False,  # the service-restart arm has its own test class
 )
 
 
@@ -133,6 +134,42 @@ class TestTypedAbortArm:
         assert report.ok, report.render()
         assert report.dimensions["poison_key"] is None
         assert report.dimensions["death_keys"] == []
+
+
+class TestServiceRestartArm:
+    """The ``restart`` dimension: serve the grid twice across a sweep-
+    server restart sharing one durable cache journal.  Serial substrate
+    (jobs=1) keeps the arm fork-free, so it runs everywhere."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        spec = CampaignSpec(
+            seed=11, jobs=1, restart=True, crash=False, poison=False,
+            deaths=False, fsfault=False, corrupt=False, knem=True,
+            stall=False)
+        workdir = tmp_path_factory.mktemp("chaos-restart")
+        return run_campaign(spec, str(workdir))
+
+    def test_restart_campaign_passes_every_oracle(self, report):
+        assert report.ok, report.render()
+        assert report.dimensions["service_restart"] is True
+        assert "service-cache" in oracle_map(report)
+
+    def test_reserved_grid_was_all_cache_hits(self, report):
+        phase = next(p for p in report.phases
+                     if p.name == "service-restart")
+        assert phase.ok, phase.error
+        # Phase detail carries the *restarted* server's counters: it must
+        # have answered everything from the durable cache.
+        assert phase.detail["cells_computed"] == 0
+        assert phase.detail["cache_hits"] == 4
+        verdict = oracle_map(report)["service-cache"]
+        assert verdict.ok, verdict.detail
+        assert "re-served from cache across a restart" in verdict.detail
+
+    def test_phase_list_includes_the_fifth_phase(self, report):
+        assert [p.name for p in report.phases] == [
+            "reference", "chaos", "corrupt", "resume", "service-restart"]
 
 
 class TestPrePrBehaviour:
